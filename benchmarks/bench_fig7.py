@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 7 — average energy consumption by power rail."""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_ENERGY
+from repro.experiments.fig7 import run_fig7
+from repro.power.rails import Rail
+
+
+def test_fig7_series(benchmark, paper_flow):
+    fig7 = benchmark(run_fig7, paper_flow)
+    for bar in fig7.bars:
+        benchmark.extra_info[f"{bar.key}_total_j"] = bar.total_joules
+        benchmark.extra_info[f"{bar.key}_ps_j"] = bar.rail_joules[Rail.PS]
+        benchmark.extra_info[f"{bar.key}_pl_j"] = bar.rail_joules[Rail.PL]
+    benchmark.extra_info["reduction_model"] = fig7.energy_reduction
+    benchmark.extra_info["reduction_paper"] = PAPER_ENERGY["reduction_fraction"]
+    # Paper headline: 30 J -> 23 J, a 23% reduction.
+    assert fig7.bar("sw").total_joules == pytest.approx(30.0, rel=0.10)
+    assert fig7.bar("fxp").total_joules == pytest.approx(23.0, rel=0.15)
+    assert 0.10 <= fig7.energy_reduction <= 0.40

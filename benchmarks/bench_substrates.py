@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the substrates the experiments stand on.
+
+Not paper artifacts, but the performance floor of the harness itself:
+blur throughput, fixed-point vector ops, quality metrics, the cache
+simulator and the HLS scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedArray, FixedFormat, Overflow, Quant, quantize_array
+from repro.hls import synthesize
+from repro.image.metrics import psnr, ssim
+from repro.platform.cache import A9_L1D, CacheSim
+from repro.tonemap.fixed_blur import fixed_point_blur_plane
+from repro.tonemap.gaussian import GaussianKernel, separable_blur
+
+PLANE = np.random.default_rng(0).uniform(0.0, 1.0, (512, 512))
+KERNEL = GaussianKernel(sigma=28 / 3.0, radius=28)
+FMT = FixedFormat(16, 2, quant=Quant.RND, overflow=Overflow.SAT)
+
+
+def test_float_blur_512(benchmark):
+    out = benchmark(separable_blur, PLANE, KERNEL)
+    assert out.shape == PLANE.shape
+
+
+def test_fixed_blur_512(benchmark):
+    out = benchmark(fixed_point_blur_plane, PLANE, KERNEL)
+    assert out.shape == PLANE.shape
+
+
+def test_quantize_array_1m(benchmark):
+    data = np.random.default_rng(1).uniform(-1.9, 1.9, 1 << 20)
+    raw = benchmark(quantize_array, data, FMT)
+    assert raw.shape == data.shape
+
+
+def test_fixed_array_mac(benchmark):
+    a = FixedArray.from_float(PLANE, FMT)
+    coeff_fmt = FixedFormat(16, 0, signed=False, quant=Quant.RND,
+                            overflow=Overflow.SAT)
+    b = FixedArray.from_float(np.full(PLANE.shape, 0.25), coeff_fmt)
+
+    def mac():
+        return (a * b).cast(FMT)
+
+    out = benchmark(mac)
+    assert out.shape == PLANE.shape
+
+
+def test_psnr_512(benchmark):
+    noisy = np.clip(PLANE + 1e-3, 0, 1)
+    value = benchmark(psnr, PLANE, noisy, 1.0)
+    assert value > 40
+
+
+def test_ssim_512(benchmark):
+    noisy = np.clip(PLANE + 1e-3, 0, 1)
+    value = benchmark(lambda: float(ssim(PLANE, noisy, 1.0)))
+    assert value > 0.9
+
+
+def test_cache_sim_64k_accesses(benchmark):
+    addresses = np.random.default_rng(2).integers(0, 1 << 20, 1 << 16)
+
+    def run():
+        sim = CacheSim(A9_L1D)
+        sim.run_trace(addresses)
+        return sim.stats
+
+    stats = benchmark(run)
+    assert stats.accesses == 1 << 16
+
+
+@pytest.mark.parametrize("key", ["sequential", "pragmas", "fxp"])
+def test_synthesis_cost(benchmark, paper_flow, key):
+    variant = paper_flow.variants[key]
+    design = benchmark(
+        synthesize, variant.kernel, 100.0, variant.pragmas
+    )
+    assert design.total_cycles > 0

@@ -1,0 +1,36 @@
+"""Benchmark: Table II — tone-mapping execution times, all five rows.
+
+Each benchmark evaluates one implementation through the full co-design
+stack (profile, synthesize, schedule, price transfers) and records the
+reproduced blur/total seconds in ``extra_info`` so the benchmark JSON
+carries the table the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_TABLE2
+from repro.experiments.table2 import run_table2
+
+KEYS = list(PAPER_TABLE2)
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_table2_row(benchmark, paper_flow, key):
+    result = benchmark(paper_flow.run_variant, key)
+    paper_blur, paper_total = PAPER_TABLE2[key]
+    benchmark.extra_info["blur_seconds_model"] = result.blur_seconds
+    benchmark.extra_info["total_seconds_model"] = result.total_seconds
+    benchmark.extra_info["blur_seconds_paper"] = paper_blur
+    benchmark.extra_info["total_seconds_paper"] = paper_total
+    # Shape guards: each row lands within 3x of the paper's value.
+    assert result.blur_seconds == pytest.approx(paper_blur, rel=2.0)
+    assert result.total_seconds == pytest.approx(paper_total, rel=2.0)
+
+
+def test_table2_headline(benchmark, paper_flow):
+    table = benchmark(run_table2, paper_flow)
+    benchmark.extra_info["blur_speedup_model"] = table.blur_speedup
+    benchmark.extra_info["blur_speedup_paper"] = 17.0
+    benchmark.extra_info["naive_slowdown_model"] = table.naive_slowdown
+    assert table.blur_speedup >= 10.0
+    assert table.naive_slowdown >= 5.0

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite.
+
+The calibrated flow is session-scoped: every table/figure bench reuses it
+(construction itself is cheap but the variants build kernel IR).
+"""
+
+import pytest
+
+from repro.experiments.calibration import make_paper_flow
+
+
+@pytest.fixture(scope="session")
+def paper_flow():
+    return make_paper_flow()

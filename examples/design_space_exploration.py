@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Design-space exploration with the HLS model.
+
+"The advantage of HLS does not only lie in the possibility to accelerate
+functions in hardware ... but also to have a faster and more efficient
+design space exploration" (paper section III-B).  This example sweeps the
+knobs a designer would:
+
+* line-buffer partition factor (memory ports vs BRAM count);
+* PL clock frequency;
+* arithmetic (float vs fixed point);
+
+and prints the blur-time / resource trade-off table plus the Pareto
+frontier of (time, BRAM).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.accel import BlurGeometry, streaming_blur_kernel, streaming_pragmas
+from repro.hls import ArrayPartitionPragma, PartitionKind, synthesize
+from repro.platform import ZYNQ_7020
+
+GEOM = BlurGeometry()  # the paper's 1024x1024, 57 taps
+
+
+def evaluate(fixed: bool, partition: int, clock_mhz: float):
+    """Synthesize one design point; returns None if it does not fit."""
+    kernel = streaming_blur_kernel(GEOM, fixed=fixed)
+    pragmas = list(streaming_pragmas(enable_pipeline=True))
+    if partition > 1:
+        pragmas.append(
+            ArrayPartitionPragma("linebuf", PartitionKind.CYCLIC, partition)
+        )
+    try:
+        design = synthesize(
+            kernel, clock_mhz=clock_mhz, pragmas=pragmas,
+            device_limits=ZYNQ_7020.limits,
+        )
+    except Exception as exc:  # ResourceError: over-partitioned
+        return None, str(exc)
+    return design, None
+
+
+def main() -> None:
+    print(f"workload: {GEOM.height}x{GEOM.width}, {GEOM.taps} taps, "
+          f"device {ZYNQ_7020.name}")
+    header = (f"{'arith':>6s} {'part':>5s} {'clock':>6s} {'II':>4s} "
+              f"{'time(ms)':>9s} {'BRAM18':>7s} {'DSP':>5s} {'LUT':>7s}")
+    print(header)
+    print("-" * len(header))
+
+    points = []
+    for fixed in (False, True):
+        for partition in (1, 2, 4, 8, 16):
+            for clock in (100.0, 142.9, 200.0):
+                design, error = evaluate(fixed, partition, clock)
+                if design is None:
+                    print(f"{'fxp' if fixed else 'flt':>6s} {partition:5d} "
+                          f"{clock:6.1f}   -- does not fit --")
+                    continue
+                ms = design.latency_seconds * 1e3
+                res = design.resources
+                print(f"{'fxp' if fixed else 'flt':>6s} {partition:5d} "
+                      f"{clock:6.1f} {design.loop_ii('pixels'):4d} "
+                      f"{ms:9.2f} {res.bram18:7d} {res.dsp:5d} {res.lut:7d}")
+                points.append((ms, res.bram18, fixed, partition, clock))
+
+    # Pareto frontier on (time, BRAM).
+    pareto = []
+    for p in sorted(points):
+        if all(p[1] < q[1] for q in pareto):
+            pareto.append(p)
+    print("\nPareto frontier (time vs BRAM):")
+    for ms, bram, fixed, partition, clock in pareto:
+        print(f"  {ms:8.2f} ms  {bram:4d} BRAM18  "
+              f"[{'fxp' if fixed else 'flt'}, partition {partition}, "
+              f"{clock:.0f} MHz]")
+
+
+if __name__ == "__main__":
+    main()

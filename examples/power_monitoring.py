@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Power monitoring session, the paper's section IV-C measurement path.
+
+Simulates what the authors did with the TI Fusion Digital Power GUI:
+sample every rail over one execution of the final fixed-point
+implementation, print the per-rail averages and energies, and render a
+coarse power-over-time strip chart showing the PS-active and PL-active
+phases.
+
+Run:  python examples/power_monitoring.py
+"""
+
+from repro.experiments.calibration import (
+    calibrated_power_model,
+    make_paper_flow,
+)
+from repro.power.pmbus import PmBusMonitor
+from repro.power.rails import Rail
+
+
+def strip_chart(trace, buckets: int = 60, height: int = 6) -> str:
+    """A small ASCII strip chart of one rail's sampled power."""
+    import numpy as np
+
+    watts = trace.watts
+    chunks = np.array_split(watts, buckets)
+    levels = np.array([chunk.mean() for chunk in chunks])
+    peak = levels.max() or 1.0
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        rows.append(
+            "".join("#" if level >= threshold else " " for level in levels)
+        )
+    rows.append("-" * buckets)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    flow = make_paper_flow()
+    model = calibrated_power_model()
+    monitor = PmBusMonitor(sample_interval_s=5e-3, noise_rms_w=0.01, seed=42)
+
+    for key in ("sw", "fxp"):
+        result = flow.run_variant(key)
+        timeline = model.timeline_powers(result.phases(), result.pl_utilization)
+        traces = monitor.measure(timeline)
+        duration = timeline.total_duration
+
+        print("=" * 68)
+        print(f"{result.title}  (runtime {duration:.2f} s)")
+        print("=" * 68)
+        total = 0.0
+        for rail in Rail:
+            trace = traces[rail]
+            energy = trace.energy_j(duration)
+            total += energy
+            print(f"  {rail.value:4s}  avg {trace.average_w:6.3f} W   "
+                  f"energy {energy:6.2f} J")
+        print(f"  {'ALL':4s}  {'':16s}energy {total:6.2f} J")
+        print("\n  PL rail over time:")
+        print("  " + strip_chart(traces[Rail.PL]).replace("\n", "\n  "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

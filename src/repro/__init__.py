@@ -1,0 +1,34 @@
+"""repro — reproduction of "Hardware Acceleration of HDR-Image Tone Mapping
+on an FPGA-CPU Platform Through High-Level Synthesis" (SOCC 2018).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.tonemap` — the tone-mapping algorithm (paper section II).
+* :mod:`repro.fixedpoint` — ``ap_fixed`` emulation (section III-C).
+* :mod:`repro.hls` — the Vivado HLS scheduling/resource model (section III).
+* :mod:`repro.platform` — the Zynq-7000 SoC model: CPU, caches, memories,
+  AXI data movers (section III-A).
+* :mod:`repro.power` — the per-rail power/energy model (section IV-C).
+* :mod:`repro.sdsoc` — the SDSoC co-design flow: profiling, function
+  marking, the five-step optimization ladder (sections III-B, IV-A).
+* :mod:`repro.accel` — the Gaussian-blur accelerator variants, one per
+  Table II row.
+* :mod:`repro.image` — HDR image substrate and quality metrics
+  (section IV-B).
+* :mod:`repro.experiments` — the harness regenerating Table II and
+  Figs. 5-8.
+
+Quickstart::
+
+    from repro.image import SceneParams, window_interior_scene
+    from repro.tonemap import tone_map
+
+    hdr = window_interior_scene(SceneParams(height=256, width=256))
+    ldr = tone_map(hdr)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,309 @@
+"""Kernel IR builders and software traces for the blur variants.
+
+Two families:
+
+* :func:`sw_blur_trace` / :func:`sw_pipeline_traces` — operation
+  summaries of the *software* pipeline stages for the ARM cost model
+  (Table II row 0 and the PS-side share of every row).
+* :func:`naive_offload_kernel` / :func:`streaming_blur_kernel` — the
+  hardware kernels.  The streaming kernel is built **once** and reused by
+  Table II rows 2, 3 and 4 with different pragma sets and element widths,
+  mirroring how SDSoC applies pragmas to unchanged C code.
+
+Hardware structure of the streaming kernel (the paper's Fig. 4):
+
+.. code-block:: text
+
+    stream_in -> [line buffer: K rows of W pixels, BRAM]
+              -> vertical convolution (K taps, one line-buffer column)
+              -> [horizontal shift window: K registers]
+              -> horizontal convolution (K taps)
+              -> stream_out
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.accel.geometry import BlurGeometry
+from repro.hls.ir import (
+    AccessKind,
+    AccessPattern,
+    ArrayDecl,
+    CarriedDependence,
+    Kernel,
+    KernelArg,
+    Loop,
+    MemAccess,
+    Statement,
+    Storage,
+)
+from repro.hls.ops import OpKind
+from repro.hls.pragmas import (
+    ArrayPartitionPragma,
+    PartitionKind,
+    PipelinePragma,
+    Pragma,
+)
+from repro.platform.cpu import SwKernelTrace
+
+
+# ----------------------------------------------------------------------
+# Software traces (ARM cost model inputs)
+# ----------------------------------------------------------------------
+
+def sw_blur_trace(geom: BlurGeometry) -> SwKernelTrace:
+    """Operation summary of the software separable blur.
+
+    Row pass: unit-stride loads (cache friendly).  Column pass: loads
+    strided by one image row, which miss L1 on every access while the
+    K-row working set still fits in L2 — the cache asymmetry the paper's
+    section III-A describes.  Each tap costs a float multiply-accumulate
+    plus index arithmetic and the loop branch; costs per op come from the
+    (deliberately unoptimized, see paper section III-B) CPU cost table.
+    """
+    pixels = geom.pixels
+    taps = geom.taps
+    per_pass_taps = pixels * taps
+    return SwKernelTrace(
+        name="gaussian_blur_sw",
+        flops=2 * 2 * per_pass_taps,           # mul + add, two passes
+        int_ops=3 * 2 * per_pass_taps,          # index/address arithmetic
+        sequential_loads=per_pass_taps,         # row pass pixel reads
+        strided_loads=per_pass_taps,            # column pass pixel reads
+        local_loads=2 * per_pass_taps,          # coefficient reads (L1-hot)
+        stores=2 * pixels,                      # one store per pixel per pass
+        branches=2 * per_pass_taps,             # inner-loop back-edges
+        strided_working_set_bytes=geom.taps * geom.width * 4,
+        element_bytes=4,
+    )
+
+
+def sw_pipeline_traces(geom: BlurGeometry, channels: int = 3) -> Dict[str, SwKernelTrace]:
+    """Traces of the PS-resident pipeline stages (everything but the blur).
+
+    These stages stay on the ARM in every implementation, so they set the
+    constant ~19 s floor visible in Table II's totals.  The dominant term
+    is the per-sample ``pow`` of the non-linear masking.
+    """
+    pixels = geom.pixels
+    samples = pixels * channels
+    return {
+        "normalization": SwKernelTrace(
+            name="normalization",
+            flops=samples,                      # compare for max + divide
+            divs=samples,
+            sequential_loads=2 * samples,       # max scan + rescale read
+            stores=samples,
+            branches=samples,
+            int_ops=samples,
+        ),
+        "masking": SwKernelTrace(
+            name="nonlinear_masking",
+            pow_calls=samples,                  # per-sample gamma correction
+            exp2_calls=pixels,                  # exponent from the mask
+            flops=3 * samples,
+            sequential_loads=2 * samples,
+            stores=samples,
+            branches=samples,
+            int_ops=2 * samples,
+        ),
+        "adjust": SwKernelTrace(
+            name="brightness_contrast",
+            flops=3 * samples,
+            sequential_loads=samples,
+            stores=samples,
+            branches=samples,
+            int_ops=samples,
+        ),
+        "luminance": SwKernelTrace(
+            name="luminance_extract",
+            flops=3 * pixels,
+            sequential_loads=channels * pixels,
+            stores=pixels,
+            branches=pixels,
+            int_ops=pixels,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Hardware kernels
+# ----------------------------------------------------------------------
+
+def _mac_ops(fixed: bool) -> Dict[str, OpKind]:
+    """Multiply/add op kinds for the chosen arithmetic."""
+    if fixed:
+        return {"mul": OpKind.MUL, "add": OpKind.ADD}
+    return {"mul": OpKind.FMUL, "add": OpKind.FADD}
+
+
+def naive_offload_kernel(geom: BlurGeometry) -> Kernel:
+    """The "Marked HW function": unmodified code dropped onto the fabric.
+
+    The software blur reads neighbours directly from the shared DDR
+    through an AXI master, one single-beat transaction per tap ("an
+    extensive amount of random memory accesses", paper section III-B).
+    Two image-sized passes with an intermediate buffer in DDR.
+    """
+    ops = _mac_ops(fixed=False)
+
+    def pass_loop(name: str, src: str, dst: str) -> Loop:
+        return Loop(
+            name=f"{name}_pixels",
+            trip_count=geom.pixels,
+            statements=[
+                Statement(
+                    f"{name}_store",
+                    chain=(OpKind.STORE,),
+                    accesses=(
+                        MemAccess(dst, AccessKind.WRITE, AccessPattern.RANDOM),
+                    ),
+                )
+            ],
+            subloops=[
+                Loop(
+                    name=f"{name}_taps",
+                    trip_count=geom.taps,
+                    statements=[
+                        Statement(
+                            f"{name}_mac",
+                            chain=(OpKind.LOAD, ops["mul"], ops["add"]),
+                            ops={OpKind.LOAD: 2, ops["mul"]: 1, ops["add"]: 1},
+                            accesses=(
+                                MemAccess(src, AccessKind.READ,
+                                          AccessPattern.RANDOM),
+                                MemAccess("coeffs", AccessKind.READ),
+                            ),
+                            carried=CarriedDependence(1, (ops["add"],)),
+                        )
+                    ],
+                )
+            ],
+        )
+
+    return Kernel(
+        name="gaussian_blur_marked",
+        args=[
+            KernelArg("src", AccessKind.READ, geom.pixels, geom.element_bits,
+                      AccessPattern.RANDOM),
+            KernelArg("dst", AccessKind.WRITE, geom.pixels, geom.element_bits,
+                      AccessPattern.RANDOM),
+        ],
+        arrays=[
+            ArrayDecl("src", geom.pixels, geom.element_bits, Storage.EXTERNAL),
+            ArrayDecl("tmp", geom.pixels, geom.element_bits, Storage.EXTERNAL),
+            ArrayDecl("dst", geom.pixels, geom.element_bits, Storage.EXTERNAL),
+            ArrayDecl("coeffs", geom.taps, geom.element_bits, Storage.BRAM),
+        ],
+        loops=[
+            pass_loop("hpass", "src", "tmp"),
+            pass_loop("vpass", "tmp", "dst"),
+        ],
+    )
+
+
+def streaming_blur_kernel(geom: BlurGeometry, fixed: bool = False) -> Kernel:
+    """The restructured streaming kernel (Table II rows 2-4).
+
+    One pixel loop; per pixel: read the input stream, update the line
+    buffer, vertical convolution over one line-buffer column (tap loop),
+    shift into the horizontal window, horizontal convolution (tap loop),
+    write the output stream.  Without pragmas the tap loops execute
+    sequentially (row 2).  ``PIPELINE`` on the pixel loop unrolls them
+    and the line-buffer ports limit the II (row 3).  The fixed-point
+    variant narrows elements to 16 bits, which packs two pixels per BRAM
+    word and doubles port throughput (row 4).
+    """
+    bits = 16 if fixed else geom.element_bits
+    ops = _mac_ops(fixed)
+
+    vertical_mac = Statement(
+        "vertical_mac",
+        chain=(OpKind.LOAD, ops["mul"], ops["add"]),
+        ops={OpKind.LOAD: 2, ops["mul"]: 1, ops["add"]: 1},
+        accesses=(
+            MemAccess("linebuf", AccessKind.READ),
+            MemAccess("coeffs", AccessKind.READ),
+        ),
+        carried=CarriedDependence(1, (ops["add"],)),
+    )
+    horizontal_mac = Statement(
+        "horizontal_mac",
+        chain=(OpKind.LOAD, ops["mul"], ops["add"]),
+        ops={OpKind.LOAD: 2, ops["mul"]: 1, ops["add"]: 1},
+        accesses=(
+            MemAccess("hwindow", AccessKind.READ),
+            MemAccess("coeffs", AccessKind.READ),
+        ),
+        carried=CarriedDependence(1, (ops["add"],)),
+    )
+
+    pixel_loop = Loop(
+        name="pixels",
+        trip_count=geom.pixels,
+        statements=[
+            Statement(
+                "stream_in",
+                chain=(OpKind.LOAD, OpKind.STORE),
+                accesses=(
+                    MemAccess("in_stream", AccessKind.READ),
+                    MemAccess("linebuf", AccessKind.WRITE),
+                ),
+            ),
+            Statement(
+                "window_shift",
+                chain=(OpKind.STORE,),
+                ops={OpKind.STORE: 1, OpKind.LOGIC: 1},
+                accesses=(MemAccess("hwindow", AccessKind.WRITE),),
+            ),
+            Statement(
+                "stream_out",
+                chain=(OpKind.STORE,),
+                accesses=(MemAccess("out_stream", AccessKind.WRITE),),
+            ),
+        ],
+        subloops=[
+            Loop("vtaps", trip_count=geom.taps, statements=[vertical_mac]),
+            Loop("htaps", trip_count=geom.taps, statements=[horizontal_mac]),
+        ],
+    )
+
+    return Kernel(
+        name="gaussian_blur_stream" + ("_fxp" if fixed else ""),
+        args=[
+            KernelArg("in_stream", AccessKind.READ, geom.pixels, bits),
+            KernelArg("out_stream", AccessKind.WRITE, geom.pixels, bits),
+        ],
+        arrays=[
+            ArrayDecl("in_stream", geom.pixels, bits, Storage.STREAM),
+            ArrayDecl("out_stream", geom.pixels, bits, Storage.STREAM),
+            ArrayDecl(
+                "linebuf",
+                depth=geom.taps * geom.width,
+                width_bits=bits,
+                storage=Storage.BRAM,
+                word_packed=fixed,
+            ),
+            ArrayDecl("hwindow", geom.taps, bits, Storage.BRAM),
+            ArrayDecl("coeffs", geom.taps, bits, Storage.BRAM),
+        ],
+        loops=[pixel_loop],
+    )
+
+
+def streaming_pragmas(enable_pipeline: bool) -> List[Pragma]:
+    """The pragma set of the paper's step 2 (section III-B).
+
+    ``PIPELINE`` on the pixel loop (which fully unrolls the tap loops)
+    and ``ARRAY_PARTITION`` moving the filter window and coefficient ROM
+    into registers.  The line buffer stays in (dual-port) BRAM — it is
+    far too large to partition completely, so it remains the II limiter.
+    """
+    if not enable_pipeline:
+        return []
+    return [
+        PipelinePragma("pixels"),
+        ArrayPartitionPragma("hwindow", PartitionKind.COMPLETE),
+        ArrayPartitionPragma("coeffs", PartitionKind.COMPLETE),
+    ]

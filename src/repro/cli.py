@@ -1,0 +1,120 @@
+"""Command-line interface: ``repro-experiments``.
+
+Subcommands map one-to-one to the paper's artifacts::
+
+    repro-experiments table2              # Table II
+    repro-experiments fig5 [-o DIR]       # Fig. 5 images + PSNR/SSIM
+    repro-experiments fig6|fig7|fig8      # the three bar charts
+    repro-experiments profile             # the SDSoC profiling step
+    repro-experiments report NAME         # HLS report of one variant
+    repro-experiments all [-o DIR]        # everything
+
+``--size`` shrinks the Fig. 5 image for quick runs (timing experiments
+are analytic and unaffected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.calibration import make_paper_flow
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import run_all_experiments
+from repro.experiments.table2 import run_table2
+from repro.experiments.workload import paper_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Hardware Acceleration of "
+            "HDR-Image Tone Mapping on an FPGA-CPU Platform Through "
+            "High-Level Synthesis' (SOCC 2018)."
+        ),
+    )
+    parser.add_argument(
+        "--size", type=int, default=1024,
+        help="image size for pixel-processing experiments (default 1024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table II execution times")
+    fig5 = sub.add_parser("fig5", help="Fig. 5 images and PSNR/SSIM")
+    fig5.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="write fig5a/b/c image files here",
+    )
+    sub.add_parser("fig6", help="Fig. 6 PS/PL time bars")
+    sub.add_parser("fig7", help="Fig. 7 energy-by-rail bars")
+    sub.add_parser("fig8", help="Fig. 8 bottomline/overhead bars")
+    sub.add_parser("profile", help="SDSoC profiling step (flow step 1)")
+    sub.add_parser("ablations", help="ablation sweeps of the design choices")
+    sub.add_parser("extensions", help="overlap + video-throughput studies")
+    sub.add_parser("robustness", help="FxP quality across scene classes")
+    report = sub.add_parser("report", help="HLS report of one variant")
+    report.add_argument(
+        "variant", choices=("marked_hw", "sequential", "pragmas", "fxp")
+    )
+    allcmd = sub.add_parser("all", help="run every experiment")
+    allcmd.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="write Fig. 5 image files here",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    flow = make_paper_flow()
+
+    if args.command == "table2":
+        print(run_table2(flow).render())
+    elif args.command == "fig5":
+        result = run_fig5(paper_workload(size=args.size), args.output_dir)
+        print(result.render())
+        if args.output_dir:
+            print(f"  images written to {args.output_dir}/")
+    elif args.command == "fig6":
+        print(run_fig6(flow).render())
+    elif args.command == "fig7":
+        print(run_fig7(flow).render())
+    elif args.command == "fig8":
+        print(run_fig8(flow).render())
+    elif args.command == "profile":
+        variant = flow.variants["sw"]
+        print(flow.project_for(variant).profile().render())
+    elif args.command == "ablations":
+        from repro.experiments.ablations import run_all_ablations
+
+        for series in run_all_ablations():
+            print(series.render())
+            print()
+    elif args.command == "extensions":
+        from repro.experiments.extensions import overlap_study, video_throughput
+
+        print(overlap_study(flow).render())
+        print()
+        print(video_throughput(flow).render())
+    elif args.command == "robustness":
+        from repro.experiments.robustness import quality_robustness
+
+        print(quality_robustness(size=min(args.size, 512)).render())
+    elif args.command == "report":
+        result = flow.run_variant(args.variant)
+        print(result.hls_design.report())
+    elif args.command == "all":
+        suite = run_all_experiments(
+            flow, image_size=args.size, output_dir=args.output_dir
+        )
+        print(suite.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

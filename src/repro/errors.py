@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FixedPointError(ReproError):
+    """Invalid fixed-point format or conversion failure."""
+
+
+class BusAlignmentError(FixedPointError):
+    """A hardware-function argument width violates SDSoC bus alignment.
+
+    SDSoC requires accelerator argument widths of 8, 16, 32 or 64 bits
+    (paper section III-C); other widths cannot cross the PS/PL boundary.
+    """
+
+
+class ImageError(ReproError):
+    """Invalid image shape, dtype, or file format."""
+
+
+class ImageFormatError(ImageError):
+    """A file could not be parsed as the expected image format."""
+
+
+class ToneMapError(ReproError):
+    """Invalid tone-mapping parameters."""
+
+
+class HlsError(ReproError):
+    """High-level-synthesis front-end or scheduling failure."""
+
+
+class PragmaError(HlsError):
+    """An HLS pragma is malformed or applied to a non-existent target."""
+
+
+class ResourceError(HlsError):
+    """A synthesized design does not fit the target device."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform configuration (clocks, memories, ports)."""
+
+
+class DataMoverError(PlatformError):
+    """No data mover can implement the requested transfer."""
+
+
+class PowerError(ReproError):
+    """Invalid power-model configuration or query."""
+
+
+class FlowError(ReproError):
+    """The SDSoC co-design flow was driven with inconsistent inputs."""
+
+
+class CalibrationError(ReproError):
+    """A calibration constant is out of its documented validity range."""

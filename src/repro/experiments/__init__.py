@@ -1,0 +1,63 @@
+"""The experiment harness: regenerates every table and figure.
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.table2` — Table II (execution times, 5 rows).
+* :mod:`repro.experiments.fig5`  — Fig. 5 images + the section IV-B
+  quality numbers (PSNR, SSIM).
+* :mod:`repro.experiments.fig6`  — Fig. 6 (PS/PL execution-time bars).
+* :mod:`repro.experiments.fig7`  — Fig. 7 (energy per rail bars).
+* :mod:`repro.experiments.fig8`  — Fig. 8 (bottomline vs execution
+  overhead for PS and PL).
+
+:mod:`repro.experiments.calibration` holds every constant tuned against
+the paper (and the paper's own numbers for comparison);
+:mod:`repro.experiments.workload` builds the 1024x1024 evaluation image;
+:mod:`repro.experiments.runner` drives everything and renders text
+reports with :mod:`repro.experiments.ascii_chart`.
+"""
+
+from repro.experiments.calibration import (
+    PAPER_TABLE2,
+    PAPER_QUALITY,
+    PAPER_ENERGY,
+    calibrated_cpu_costs,
+    calibrated_external_model,
+    make_paper_soc,
+    make_paper_flow,
+    paper_geometry,
+)
+from repro.experiments.workload import (
+    make_paper_image,
+    make_paper_tonemap_params,
+    paper_workload,
+)
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.fig5 import QualityResult, run_fig5
+from repro.experiments.fig6 import Fig6Bar, run_fig6
+from repro.experiments.fig7 import Fig7Bar, run_fig7
+from repro.experiments.fig8 import Fig8Bar, run_fig8
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_QUALITY",
+    "PAPER_ENERGY",
+    "calibrated_cpu_costs",
+    "calibrated_external_model",
+    "make_paper_soc",
+    "make_paper_flow",
+    "paper_geometry",
+    "make_paper_image",
+    "make_paper_tonemap_params",
+    "paper_workload",
+    "Table2Row",
+    "run_table2",
+    "QualityResult",
+    "run_fig5",
+    "Fig6Bar",
+    "run_fig6",
+    "Fig7Bar",
+    "run_fig7",
+    "Fig8Bar",
+    "run_fig8",
+]

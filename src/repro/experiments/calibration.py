@@ -1,0 +1,103 @@
+"""Calibration constants and the paper's published numbers.
+
+Every constant tuned against the paper lives here, with its provenance.
+The *models* decide how constants combine — orderings, crossovers and
+ratios are emergent — but absolute scales must be anchored because the
+paper's exact software build (compiler flags, libm) and design geometry
+(kernel radius, AXI configuration) are not published.
+
+Anchors used:
+
+* **SW blur = 7.29 s** fixes the CPU per-flop cost at 13 cycles
+  (Cortex-A9 VFP latency plus -O0-style spill traffic; the paper states
+  the code "was not optimized").
+* **Masking-dominated remainder ~19.4 s** fixes libm ``pow`` at 3650
+  cycles per call (double-precision pow on ARM32 soft-FPU paths).
+* **Marked HW = 176 s** fixes the single-beat AXI read round trip at 138
+  PL cycles (1.38 us through GP port + interconnect + DDR controller —
+  mid-range for Zynq-7000 literature).
+* The remaining rows are **not** individually calibrated: sequential /
+  pragmas / FxP times emerge from the line-buffer kernel IR, the
+  scheduler's port-limited II and the transfer model.
+"""
+
+from __future__ import annotations
+
+from repro.accel.geometry import BlurGeometry
+from repro.hls.scheduler import ExternalAccessModel
+from repro.platform.cpu import ArmCortexA9Model, CpuCosts
+from repro.platform.soc import ZynqSoC
+from repro.power.model import PowerModel
+from repro.sdsoc.flow import OptimizationFlow
+
+#: Paper Table II: implementation key -> (blur seconds, total seconds).
+PAPER_TABLE2 = {
+    "sw": (7.29, 26.66),
+    "marked_hw": (176.00, 195.28),
+    "sequential": (17.02, 35.34),
+    "pragmas": (0.79, 19.10),
+    "fxp": (0.42, 19.27),
+}
+
+#: Paper section IV-B: PSNR (dB) and SSIM between FxP and FlP outputs.
+PAPER_QUALITY = {"psnr_db": 66.0, "ssim": 1.0}
+
+#: Paper section IV-C: total energy per image (J) and the reduction.
+PAPER_ENERGY = {
+    "sw_total_j": 30.0,
+    "fxp_total_j": 23.0,
+    "reduction_fraction": 0.23,
+}
+
+#: Paper headline: blur speed-up SW -> final FxP accelerator.
+PAPER_BLUR_SPEEDUP = 17.0
+
+
+def calibrated_cpu_costs() -> CpuCosts:
+    """CPU cost table anchored to the paper's software rows."""
+    return CpuCosts(flop=13.0, int_op=2.0, pow_call=3650.0)
+
+
+def calibrated_external_model() -> ExternalAccessModel:
+    """AXI access costs anchored to the Marked-HW row."""
+    return ExternalAccessModel(read_latency=138, write_latency=12)
+
+
+def calibrated_power_model() -> PowerModel:
+    """Rail powers anchored to 30 J (SW) with Fig. 7/8 proportions."""
+    return PowerModel(
+        ps_idle_w=0.30,
+        ps_active_w=0.33,
+        pl_base_w=0.045,
+        pl_util_idle_w=0.35,
+        pl_util_active_w=1.20,
+        ddr_w=0.40,
+        bram_w=0.05,
+    )
+
+
+def paper_geometry() -> BlurGeometry:
+    """The evaluation blur geometry: 1024x1024, 57 taps, 32-bit data.
+
+    The paper gives the image size; the 57-tap (radius 28) mask is the
+    widest kernel consistent with both the SW timing anchor and the
+    BRAM capacity of the line buffer, and gives the algorithm the wide
+    local-contrast neighbourhood it needs at this resolution.
+    """
+    return BlurGeometry(height=1024, width=1024, radius=28,
+                        sigma=28 / 3.0, element_bits=32)
+
+
+def make_paper_soc() -> ZynqSoC:
+    """The calibrated ZC702-class platform."""
+    return ZynqSoC(cpu=ArmCortexA9Model(costs=calibrated_cpu_costs()))
+
+
+def make_paper_flow(channels: int = 3) -> OptimizationFlow:
+    """The calibrated five-step optimization flow."""
+    return OptimizationFlow(
+        soc=make_paper_soc(),
+        geometry=paper_geometry(),
+        channels=channels,
+        external=calibrated_external_model(),
+    )

@@ -1,0 +1,168 @@
+"""Extension studies beyond the paper's evaluation.
+
+Two natural next steps the paper's setup invites but does not measure:
+
+* **Transfer/compute overlap** (:func:`overlap_study`) — the streaming
+  kernel consumes pixels as the DMA delivers them, so with stream
+  (DATAFLOW-style) interfaces the transfer and the computation overlap
+  instead of serializing.  The study quantifies the blur-time saving per
+  implementation.
+* **Video throughput** (:func:`video_throughput`) — the paper's intro
+  motivates mobile/continuous imaging; with double buffering the PS
+  stages of frame *n+1* run while the PL blurs frame *n*, so the
+  steady-state frame rate is set by the slower of the two sides, not by
+  their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import FlowError
+from repro.experiments.calibration import make_paper_flow
+from repro.sdsoc.flow import ImplementationResult, OptimizationFlow
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    """Blur time with serialized vs overlapped transfers."""
+
+    key: str
+    serialized_s: float
+    overlapped_s: float
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.serialized_s == 0:
+            return 0.0
+        return 1.0 - self.overlapped_s / self.serialized_s
+
+
+@dataclass(frozen=True)
+class OverlapStudy:
+    results: List[OverlapResult]
+
+    def result(self, key: str) -> OverlapResult:
+        for result in self.results:
+            if result.key == key:
+                return result
+        raise KeyError(key)
+
+    def render(self) -> str:
+        lines = ["EXTENSION: transfer/compute overlap (blur time)"]
+        for r in self.results:
+            lines.append(
+                f"  {r.key:12s} serialized {r.serialized_s:8.4f} s -> "
+                f"overlapped {r.overlapped_s:8.4f} s "
+                f"({r.saving_fraction * 100:4.1f}% saved)"
+            )
+        return "\n".join(lines)
+
+
+def overlapped_blur_seconds(result: ImplementationResult) -> float:
+    """Blur time when DMA streams overlap the accelerator pipeline.
+
+    The streaming kernel starts computing on the first beats, and the
+    output DMA drains as pixels emerge, so the wall time is the maximum
+    of the three streams plus the PS-side stub — not their sum.  Only
+    meaningful for DMA-fed variants; zero-copy and software pass through
+    unchanged.
+    """
+    if not result.uses_hardware or result.transfer_seconds == 0.0:
+        return result.blur_seconds
+    streamed = max(result.pl_busy_seconds, result.transfer_seconds)
+    return result.stub_seconds + streamed
+
+
+def overlap_study(flow: Optional[OptimizationFlow] = None) -> OverlapStudy:
+    """Quantify the overlap saving for every hardware implementation."""
+    flow = flow or make_paper_flow()
+    results = []
+    for key in ("sequential", "pragmas", "fxp"):
+        impl = flow.run_variant(key)
+        results.append(
+            OverlapResult(
+                key=key,
+                serialized_s=impl.blur_seconds,
+                overlapped_s=overlapped_blur_seconds(impl),
+            )
+        )
+    return OverlapStudy(results=results)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Frames per second, single-frame latency, and the binding side."""
+
+    key: str
+    fps_sequential: float
+    fps_pipelined: float
+    bound_by: str
+
+    @property
+    def pipelining_gain(self) -> float:
+        if self.fps_sequential == 0:
+            return 0.0
+        return self.fps_pipelined / self.fps_sequential
+
+
+@dataclass(frozen=True)
+class ThroughputStudy:
+    results: List[ThroughputResult]
+
+    def result(self, key: str) -> ThroughputResult:
+        for result in self.results:
+            if result.key == key:
+                return result
+        raise KeyError(key)
+
+    def render(self) -> str:
+        lines = ["EXTENSION: video throughput (frames/s)"]
+        for r in self.results:
+            lines.append(
+                f"  {r.key:12s} single-buffer {r.fps_sequential:7.4f} fps -> "
+                f"double-buffer {r.fps_pipelined:7.4f} fps "
+                f"(x{r.pipelining_gain:4.2f}, bound by {r.bound_by})"
+            )
+        return "\n".join(lines)
+
+
+def video_throughput(flow: Optional[OptimizationFlow] = None) -> ThroughputStudy:
+    """Steady-state frame rate with and without frame-level pipelining.
+
+    With double buffering, the PS stages (normalization, masking,
+    adjustment) of the next frame run while the PL blurs the current
+    one: the steady-state period is ``max(ps_work, blur)`` instead of
+    ``ps_work + blur``.  Software-only implementations cannot overlap
+    (one CPU does everything).
+    """
+    flow = flow or make_paper_flow()
+    results = []
+    for key in flow.variants:
+        impl = flow.run_variant(key)
+        total = impl.total_seconds
+        fps_seq = 1.0 / total if total > 0 else 0.0
+        if not impl.uses_hardware:
+            results.append(
+                ThroughputResult(
+                    key=key, fps_sequential=fps_seq, fps_pipelined=fps_seq,
+                    bound_by="cpu (no overlap possible)",
+                )
+            )
+            continue
+        ps_work = total - impl.blur_seconds + impl.stub_seconds
+        blur = impl.blur_seconds
+        period = max(ps_work, blur)
+        if period <= 0:
+            raise FlowError(f"degenerate period for {key!r}")
+        bound = "ps stages" if ps_work >= blur else "pl blur"
+        results.append(
+            ThroughputResult(
+                key=key,
+                fps_sequential=fps_seq,
+                fps_pipelined=1.0 / period,
+                bound_by=bound,
+            )
+        )
+    return ThroughputStudy(results=results)

@@ -1,0 +1,69 @@
+"""Fig. 6: execution-time bars with the PS/PL split.
+
+"The bar chart underlines both the time spent in the programmable logic
+(PL) for the execution of the Gaussian blur and the one spent in the
+processing system (PS) for the rest of the algorithm", omitting the
+Marked-HW column "which is not relevant".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.ascii_chart import horizontal_bar_chart
+from repro.experiments.calibration import make_paper_flow
+from repro.sdsoc.flow import OptimizationFlow
+
+#: Implementations shown in Fig. 6 (paper omits marked_hw).
+FIG6_KEYS = ("sw", "sequential", "pragmas", "fxp")
+
+
+@dataclass(frozen=True)
+class Fig6Bar:
+    """One Fig. 6 bar: PS and PL seconds for an implementation."""
+
+    key: str
+    title: str
+    ps_seconds: float
+    pl_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ps_seconds + self.pl_seconds
+
+
+@dataclass(frozen=True)
+class Fig6:
+    bars: List[Fig6Bar]
+
+    def bar(self, key: str) -> Fig6Bar:
+        for bar in self.bars:
+            if bar.key == key:
+                return bar
+        raise KeyError(key)
+
+    def render(self) -> str:
+        rows = [
+            (bar.title, {"PS": bar.ps_seconds, "PL": bar.pl_seconds})
+            for bar in self.bars
+        ]
+        return horizontal_bar_chart(
+            rows, unit="s",
+            title="FIG 6: Tone mapping execution time (PS vs PL)",
+        )
+
+
+def run_fig6(flow: Optional[OptimizationFlow] = None) -> Fig6:
+    """Reproduce the Fig. 6 data series."""
+    flow = flow or make_paper_flow()
+    bars = []
+    for key in FIG6_KEYS:
+        result = flow.run_variant(key)
+        # PL time: accelerator busy + bus transfers; PS time: the rest.
+        pl = result.pl_busy_seconds + result.transfer_seconds
+        ps = result.total_seconds - pl
+        bars.append(
+            Fig6Bar(key=key, title=result.title, ps_seconds=ps, pl_seconds=pl)
+        )
+    return Fig6(bars=bars)

@@ -1,0 +1,101 @@
+"""Fig. 7: average energy consumption per image, by power rail.
+
+"The energy values ... have been obtained multiplying the average power
+consumption measured with the TI software by the corresponding execution
+time."  The harness follows the same path: the PMBus monitor samples the
+power model over each implementation's execution timeline; energy is
+average power times duration, per rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.ascii_chart import horizontal_bar_chart
+from repro.experiments.calibration import (
+    PAPER_ENERGY,
+    calibrated_power_model,
+    make_paper_flow,
+)
+from repro.power.model import PowerModel
+from repro.power.pmbus import PmBusMonitor
+from repro.power.rails import Rail
+from repro.sdsoc.flow import OptimizationFlow
+
+#: Implementations shown in Fig. 7 (paper omits marked_hw).
+FIG7_KEYS = ("sw", "sequential", "pragmas", "fxp")
+
+
+@dataclass(frozen=True)
+class Fig7Bar:
+    """One stacked energy bar: joules per rail."""
+
+    key: str
+    title: str
+    rail_joules: Dict[Rail, float]
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.rail_joules.values())
+
+
+@dataclass(frozen=True)
+class Fig7:
+    bars: List[Fig7Bar]
+
+    def bar(self, key: str) -> Fig7Bar:
+        for bar in self.bars:
+            if bar.key == key:
+                return bar
+        raise KeyError(key)
+
+    @property
+    def energy_reduction(self) -> float:
+        """Fractional reduction SW -> FxP (paper: 23%)."""
+        sw = self.bar("sw").total_joules
+        fxp = self.bar("fxp").total_joules
+        return (sw - fxp) / sw
+
+    def render(self) -> str:
+        rows = [
+            (
+                bar.title,
+                {rail.value: bar.rail_joules[rail] for rail in Rail},
+            )
+            for bar in self.bars
+        ]
+        chart = horizontal_bar_chart(
+            rows, unit="J",
+            title="FIG 7: Tone mapping average energy consumption by rail",
+        )
+        sw = self.bar("sw").total_joules
+        fxp = self.bar("fxp").total_joules
+        tail = (
+            f"  energy SW: {sw:.1f} J -> FxP: {fxp:.1f} J "
+            f"({self.energy_reduction * 100:.0f}% reduction; paper: "
+            f"{PAPER_ENERGY['sw_total_j']:.0f} J -> "
+            f"{PAPER_ENERGY['fxp_total_j']:.0f} J, 23%)"
+        )
+        return chart + "\n" + tail
+
+
+def run_fig7(
+    flow: Optional[OptimizationFlow] = None,
+    power_model: Optional[PowerModel] = None,
+    monitor: Optional[PmBusMonitor] = None,
+) -> Fig7:
+    """Reproduce the Fig. 7 data series through the PMBus monitor."""
+    flow = flow or make_paper_flow()
+    power_model = power_model or calibrated_power_model()
+    monitor = monitor or PmBusMonitor(sample_interval_s=1e-2)
+
+    bars = []
+    for key in FIG7_KEYS:
+        result = flow.run_variant(key)
+        timeline = power_model.timeline_powers(
+            result.phases(), result.pl_utilization
+        )
+        joules = monitor.measure_energy(timeline)
+        bars.append(Fig7Bar(key=key, title=result.title, rail_joules=joules))
+    return Fig7(bars=bars)

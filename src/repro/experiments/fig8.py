@@ -1,0 +1,115 @@
+"""Fig. 8: bottomline vs execution overhead for the PS and PL rails.
+
+The paper's deepest energy insight: as the optimization steps enable more
+programmable logic, the PL *bottomline* (idle) energy term grows while
+the PL *execution overhead* term shrinks with the collapsing run times;
+for the PS both terms simply track the shorter execution.  This module
+regenerates both panels from the exact energy decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.ascii_chart import horizontal_bar_chart
+from repro.experiments.calibration import calibrated_power_model, make_paper_flow
+from repro.power.energy import compute_energy
+from repro.power.model import PowerModel
+from repro.power.rails import Rail
+from repro.sdsoc.flow import OptimizationFlow
+
+#: Implementations shown in Fig. 8 (paper omits marked_hw).
+FIG8_KEYS = ("sw", "sequential", "pragmas", "fxp")
+
+
+@dataclass(frozen=True)
+class Fig8Bar:
+    """Bottomline/overhead energies of one rail for one implementation."""
+
+    key: str
+    title: str
+    rail: Rail
+    bottomline_j: float
+    overhead_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.bottomline_j + self.overhead_j
+
+
+@dataclass(frozen=True)
+class Fig8:
+    """Both panels: (a) PS and (b) PL."""
+
+    ps_bars: List[Fig8Bar]
+    pl_bars: List[Fig8Bar]
+
+    def panel(self, rail: Rail) -> List[Fig8Bar]:
+        if rail is Rail.PS:
+            return self.ps_bars
+        if rail is Rail.PL:
+            return self.pl_bars
+        raise KeyError(rail)
+
+    def bar(self, rail: Rail, key: str) -> Fig8Bar:
+        for bar in self.panel(rail):
+            if bar.key == key:
+                return bar
+        raise KeyError((rail, key))
+
+    def render(self) -> str:
+        sections = []
+        for rail, bars, label in (
+            (Rail.PS, self.ps_bars, "(a) Processing System (PS)"),
+            (Rail.PL, self.pl_bars, "(b) Programmable Logic (PL)"),
+        ):
+            rows = [
+                (
+                    bar.title,
+                    {
+                        "bottomline": bar.bottomline_j,
+                        "overhead": bar.overhead_j,
+                    },
+                )
+                for bar in bars
+            ]
+            sections.append(
+                horizontal_bar_chart(
+                    rows, unit="J",
+                    title=f"FIG 8{label[1]}: {label} energy split",
+                )
+            )
+        return "\n".join(sections)
+
+
+def run_fig8(
+    flow: Optional[OptimizationFlow] = None,
+    power_model: Optional[PowerModel] = None,
+) -> Fig8:
+    """Reproduce both Fig. 8 panels."""
+    flow = flow or make_paper_flow()
+    power_model = power_model or calibrated_power_model()
+
+    ps_bars: List[Fig8Bar] = []
+    pl_bars: List[Fig8Bar] = []
+    for key in FIG8_KEYS:
+        result = flow.run_variant(key)
+        report = compute_energy(
+            implementation=key,
+            phases=result.phases(),
+            pl_utilization=result.pl_utilization,
+            model=power_model,
+        )
+        for rail, bucket in ((Rail.PS, ps_bars), (Rail.PL, pl_bars)):
+            entry = report.rail(rail)
+            bucket.append(
+                Fig8Bar(
+                    key=key,
+                    title=result.title,
+                    rail=rail,
+                    bottomline_j=entry.bottomline_j,
+                    overhead_j=entry.overhead_j,
+                )
+            )
+    return Fig8(ps_bars=ps_bars, pl_bars=pl_bars)

@@ -1,0 +1,69 @@
+"""Run-everything driver for the experiment harness.
+
+:func:`run_all_experiments` executes Table II and Figs. 5-8 on the
+calibrated platform and returns a single :class:`ExperimentSuite` whose
+``render()`` is the full text report (what ``repro-experiments all``
+prints and what EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.calibration import make_paper_flow
+from repro.experiments.fig5 import QualityResult, run_fig5
+from repro.experiments.fig6 import Fig6, run_fig6
+from repro.experiments.fig7 import Fig7, run_fig7
+from repro.experiments.fig8 import Fig8, run_fig8
+from repro.experiments.table2 import Table2, run_table2
+from repro.experiments.workload import paper_workload
+from repro.sdsoc.flow import OptimizationFlow
+
+
+@dataclass(frozen=True)
+class ExperimentSuite:
+    """All reproduced artifacts from one harness run."""
+
+    table2: Table2
+    fig5: QualityResult
+    fig6: Fig6
+    fig7: Fig7
+    fig8: Fig8
+
+    def render(self) -> str:
+        parts = [
+            self.table2.render(),
+            "",
+            self.fig5.render(),
+            "",
+            self.fig6.render(),
+            "",
+            self.fig7.render(),
+            "",
+            self.fig8.render(),
+        ]
+        return "\n".join(parts)
+
+
+def run_all_experiments(
+    flow: Optional[OptimizationFlow] = None,
+    image_size: int = 1024,
+    output_dir: Optional[Path] = None,
+) -> ExperimentSuite:
+    """Run every experiment; ``image_size`` shrinks Fig. 5 for quick runs.
+
+    The timing/energy artifacts (Table II, Figs. 6-8) always use the
+    paper geometry — their cost is analytic, not pixel-dependent — while
+    Fig. 5 actually processes pixels and can be scaled down.
+    """
+    flow = flow or make_paper_flow()
+    table2 = run_table2(flow)
+    fig5 = run_fig5(paper_workload(size=image_size), output_dir=output_dir)
+    fig6 = run_fig6(flow)
+    fig7 = run_fig7(flow)
+    fig8 = run_fig8(flow)
+    return ExperimentSuite(
+        table2=table2, fig5=fig5, fig6=fig6, fig7=fig7, fig8=fig8
+    )

@@ -1,0 +1,71 @@
+"""The evaluation workload: the paper's 1024x1024 HDR image, substituted.
+
+The paper's photograph (its Fig. 5a) is not distributed; per DESIGN.md
+the substitute is the procedural ``window_interior`` scene — the same
+size, photographic dynamic range, and the smooth-region/hard-edge mix
+that exercises blur quantization.  The tone-mapping parameters mirror the
+blur geometry used by the performance model so the functional and timing
+layers describe the same computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.geometry import BlurGeometry
+from repro.experiments.calibration import paper_geometry
+from repro.image.hdr import HDRImage
+from repro.image.synthetic import SceneParams, window_interior_scene
+from repro.tonemap.adjust import AdjustParams
+from repro.tonemap.masking import MaskingParams
+from repro.tonemap.pipeline import ToneMapParams
+
+
+def make_paper_image(size: int = 1024, seed: int = 2018) -> HDRImage:
+    """The substituted Fig. 5a input image."""
+    return window_interior_scene(
+        SceneParams(height=size, width=size, seed=seed)
+    )
+
+
+def make_paper_tonemap_params(
+    geom: BlurGeometry | None = None, blur_fn=None
+) -> ToneMapParams:
+    """Tone-mapping parameters consistent with the blur geometry."""
+    geom = geom or paper_geometry()
+    return ToneMapParams(
+        sigma=geom.sigma,
+        radius=geom.radius,
+        masking=MaskingParams(strength=1.0),
+        adjust=AdjustParams(brightness=0.0, contrast=1.1),
+        blur_fn=blur_fn,
+    )
+
+
+@dataclass(frozen=True)
+class PaperWorkload:
+    """Image + parameters, bundled for the harness."""
+
+    image: HDRImage
+    params: ToneMapParams
+    geometry: BlurGeometry
+
+
+def paper_workload(size: int = 1024, seed: int = 2018) -> PaperWorkload:
+    """The full evaluation workload at the paper's size.
+
+    ``size`` can be reduced for fast tests; the geometry scales with it
+    while keeping the filter radius capped to fit small images.
+    """
+    geom = paper_geometry()
+    if size != 1024:
+        radius = min(geom.radius, max(1, size // 8))
+        geom = BlurGeometry(
+            height=size, width=size, radius=radius, sigma=max(radius / 3.0, 0.5),
+            element_bits=geom.element_bits,
+        )
+    return PaperWorkload(
+        image=make_paper_image(size=size, seed=seed),
+        params=make_paper_tonemap_params(geom),
+        geometry=geom,
+    )

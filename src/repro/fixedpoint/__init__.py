@@ -1,0 +1,57 @@
+"""Bit-accurate fixed-point arithmetic, emulating Vivado HLS ``ap_fixed``.
+
+The paper converts the Gaussian-blur accelerator from 32-bit floating point
+to a 16-bit fixed-point representation using the Vivado HLS ``ap_fixed``
+arbitrary-precision type (section III-C).  This package provides a Python
+equivalent:
+
+* :class:`FixedFormat` — a word-length / integer-length / signedness /
+  quantization / overflow specification, mirroring
+  ``ap_fixed<W, I, Q, O>``.
+* :class:`ApFixed` — an exact scalar fixed-point number with ap_fixed
+  widening arithmetic semantics.
+* :class:`FixedArray` — a vectorized (NumPy-backed) fixed-point array used
+  by the bit-accurate accelerator models.
+* :func:`quantize_array` — vectorized float→raw quantization.
+* :func:`suggest_format` / :func:`quantization_error_stats` — the
+  float-to-fixed conversion analysis used when choosing blur coefficients.
+
+SDSoC's bus-alignment restriction (hardware-function argument widths must
+be 8, 16, 32 or 64 bits) is enforced by :func:`check_bus_alignment`.
+"""
+
+from repro.fixedpoint.format import (
+    Overflow,
+    Quant,
+    FixedFormat,
+    check_bus_alignment,
+    BUS_ALIGNED_WIDTHS,
+)
+from repro.fixedpoint.apfixed import ApFixed
+from repro.fixedpoint.array import FixedArray, quantize_array, raw_to_float
+from repro.fixedpoint.convert import (
+    RangeReport,
+    QuantizationErrorStats,
+    value_range,
+    integer_bits_required,
+    suggest_format,
+    quantization_error_stats,
+)
+
+__all__ = [
+    "Overflow",
+    "Quant",
+    "FixedFormat",
+    "check_bus_alignment",
+    "BUS_ALIGNED_WIDTHS",
+    "ApFixed",
+    "FixedArray",
+    "quantize_array",
+    "raw_to_float",
+    "RangeReport",
+    "QuantizationErrorStats",
+    "value_range",
+    "integer_bits_required",
+    "suggest_format",
+    "quantization_error_stats",
+]

@@ -1,0 +1,274 @@
+"""Exact scalar fixed-point numbers with ``ap_fixed`` semantics.
+
+An :class:`ApFixed` holds an integer *raw* value together with a
+:class:`~repro.fixedpoint.format.FixedFormat`.  Arithmetic between two
+``ApFixed`` values is **exact**: results use the widened format given by the
+ap_fixed rules (see :meth:`FixedFormat.add_result` /
+:meth:`FixedFormat.mul_result`), so no precision is lost until the value is
+explicitly :meth:`cast` to a narrower format — mirroring how Vivado HLS
+evaluates expressions at full precision and quantizes on assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import FixedPointError
+from repro.fixedpoint.format import FixedFormat, Overflow, Quant
+
+Number = Union[int, float]
+
+
+def _quantize_scaled(value_num: int, value_den_log2: int, fmt: FixedFormat) -> int:
+    """Quantize the exact rational ``value_num / 2**value_den_log2``.
+
+    Returns the raw integer in *fmt* (before overflow handling).  All
+    arithmetic is integer, so the result is exact for every mode.
+    """
+    # We need raw = Q(value * 2**F) = Q(value_num * 2**(F - value_den_log2)).
+    shift = fmt.frac_length - value_den_log2
+    if shift >= 0:
+        scaled_num = value_num << shift if shift else value_num
+        rem = 0
+        div = 1
+    else:
+        div = 1 << (-shift)
+        scaled_num, rem = divmod(value_num, div)  # floor division, rem >= 0
+    if rem == 0:
+        return scaled_num
+
+    # scaled value = scaled_num + rem/div with 0 < rem < div.
+    quant = fmt.quant
+    half = div // 2  # div is a power of two >= 2 here
+    if quant is Quant.TRN:
+        return scaled_num
+    if quant is Quant.TRN_ZERO:
+        # Truncation toward zero: floor is already correct for positives;
+        # for negatives floor went one step too low.
+        if value_num < 0:
+            return scaled_num + 1
+        return scaled_num
+    if quant is Quant.RND:
+        # Round half toward plus infinity: floor(x + 1/2).
+        return scaled_num + (1 if rem >= half else 0)
+    if quant is Quant.RND_MIN_INF:
+        # Round half toward minus infinity: ceil(x - 1/2).
+        return scaled_num + (1 if rem > half else 0)
+    if quant is Quant.RND_ZERO:
+        # Ties toward zero.
+        if value_num >= 0:
+            return scaled_num + (1 if rem > half else 0)
+        return scaled_num + (1 if rem >= half else 0)
+    if quant is Quant.RND_INF:
+        # Ties away from zero.
+        if value_num >= 0:
+            return scaled_num + (1 if rem >= half else 0)
+        return scaled_num + (1 if rem > half else 0)
+    if quant is Quant.RND_CONV:
+        if rem > half:
+            return scaled_num + 1
+        if rem < half:
+            return scaled_num
+        # Exact tie: round to even.
+        return scaled_num + (scaled_num & 1)
+    raise FixedPointError(f"unsupported quantization mode {quant!r}")
+
+
+def _overflow(raw: int, fmt: FixedFormat) -> int:
+    """Apply *fmt*'s overflow mode to an unconstrained raw integer."""
+    lo, hi = fmt.raw_min, fmt.raw_max
+    if lo <= raw <= hi:
+        return raw
+    mode = fmt.overflow
+    if mode is Overflow.SAT or mode is Overflow.SAT_SYM:
+        return hi if raw > hi else lo
+    if mode is Overflow.SAT_ZERO:
+        return 0
+    if mode is Overflow.WRAP:
+        span = 1 << fmt.word_length
+        wrapped = raw & (span - 1)
+        if fmt.signed and wrapped >= (1 << (fmt.word_length - 1)):
+            wrapped -= span
+        return wrapped
+    raise FixedPointError(f"unsupported overflow mode {mode!r}")
+
+
+class ApFixed:
+    """A scalar fixed-point value: raw integer plus format.
+
+    Use :meth:`from_float` to quantize a Python float into a format, or the
+    constructor with ``raw=`` for bit-exact construction.  Arithmetic
+    operators return exact, widened results; :meth:`cast` quantizes back to
+    a target format.
+    """
+
+    __slots__ = ("_raw", "_fmt")
+
+    def __init__(self, raw: int, fmt: FixedFormat):
+        if not isinstance(raw, int) or isinstance(raw, bool):
+            raise FixedPointError(f"raw value must be an int, got {raw!r}")
+        if not (fmt.raw_min <= raw <= fmt.raw_max):
+            raise FixedPointError(
+                f"raw value {raw} out of range [{fmt.raw_min}, {fmt.raw_max}] "
+                f"for {fmt}"
+            )
+        self._raw = raw
+        self._fmt = fmt
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(cls, value: Number, fmt: FixedFormat) -> "ApFixed":
+        """Quantize *value* into *fmt* (quantization then overflow)."""
+        if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+            raise FixedPointError(f"cannot quantize non-finite value {value!r}")
+        num, den_log2 = _float_to_scaled(value)
+        raw = _quantize_scaled(num, den_log2, fmt)
+        return cls(_overflow(raw, fmt), fmt)
+
+    @property
+    def raw(self) -> int:
+        """The underlying integer (two's-complement value of the bits)."""
+        return self._raw
+
+    @property
+    def fmt(self) -> FixedFormat:
+        """The fixed-point format of this value."""
+        return self._fmt
+
+    def to_float(self) -> float:
+        """Exact real value as a Python float (``raw * 2**-F``)."""
+        return self._raw * (2.0 ** (-self._fmt.frac_length))
+
+    __float__ = to_float
+
+    def cast(self, fmt: FixedFormat) -> "ApFixed":
+        """Re-quantize into *fmt*, applying its quantization and overflow."""
+        raw = _quantize_scaled(self._raw, self._fmt.frac_length, fmt)
+        return ApFixed(_overflow(raw, fmt), fmt)
+
+    # ------------------------------------------------------------------
+    # Exact arithmetic (widening)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ApFixed") -> "ApFixed":
+        other = self._coerce(other)
+        fmt = self._fmt.add_result(other._fmt)
+        raw = (self._raw << (fmt.frac_length - self._fmt.frac_length)) + (
+            other._raw << (fmt.frac_length - other._fmt.frac_length)
+        )
+        return ApFixed(raw, fmt)
+
+    def __sub__(self, other: "ApFixed") -> "ApFixed":
+        other = self._coerce(other)
+        return self + (-other)
+
+    def __neg__(self) -> "ApFixed":
+        # Negating the most negative value needs one extra integer bit.
+        fmt = FixedFormat(
+            word_length=self._fmt.word_length + 1,
+            int_length=self._fmt.int_length + 1,
+            signed=True,
+            quant=self._fmt.quant,
+            overflow=self._fmt.overflow,
+        )
+        return ApFixed(-self._raw, fmt)
+
+    def __mul__(self, other: "ApFixed") -> "ApFixed":
+        other = self._coerce(other)
+        fmt = self._fmt.mul_result(other._fmt)
+        return ApFixed(self._raw * other._raw, fmt)
+
+    def __rshift__(self, bits: int) -> "ApFixed":
+        """Arithmetic shift right: divides by ``2**bits`` exactly by moving
+        the binary point (no precision loss; the format's integer length
+        shrinks)."""
+        if bits < 0:
+            raise FixedPointError("shift amount must be non-negative")
+        fmt = FixedFormat(
+            word_length=self._fmt.word_length,
+            int_length=self._fmt.int_length - bits,
+            signed=self._fmt.signed,
+            quant=self._fmt.quant,
+            overflow=self._fmt.overflow,
+        )
+        return ApFixed(self._raw, fmt)
+
+    def __lshift__(self, bits: int) -> "ApFixed":
+        """Multiply by ``2**bits`` exactly by moving the binary point."""
+        if bits < 0:
+            raise FixedPointError("shift amount must be non-negative")
+        fmt = FixedFormat(
+            word_length=self._fmt.word_length,
+            int_length=self._fmt.int_length + bits,
+            signed=self._fmt.signed,
+            quant=self._fmt.quant,
+            overflow=self._fmt.overflow,
+        )
+        return ApFixed(self._raw, fmt)
+
+    def _coerce(self, other: "ApFixed") -> "ApFixed":
+        if isinstance(other, ApFixed):
+            return other
+        raise TypeError(
+            f"ApFixed arithmetic requires ApFixed operands, got {type(other)!r}; "
+            "quantize explicitly with ApFixed.from_float"
+        )
+
+    # ------------------------------------------------------------------
+    # Comparison (exact, across formats)
+    # ------------------------------------------------------------------
+    def _key(self, other: "ApFixed") -> tuple:
+        f = max(self._fmt.frac_length, other._fmt.frac_length)
+        return (
+            self._raw << (f - self._fmt.frac_length),
+            other._raw << (f - other._fmt.frac_length),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ApFixed):
+            return NotImplemented
+        a, b = self._key(other)
+        return a == b
+
+    def __lt__(self, other: "ApFixed") -> bool:
+        a, b = self._key(self._coerce(other))
+        return a < b
+
+    def __le__(self, other: "ApFixed") -> bool:
+        a, b = self._key(self._coerce(other))
+        return a <= b
+
+    def __gt__(self, other: "ApFixed") -> bool:
+        a, b = self._key(self._coerce(other))
+        return a > b
+
+    def __ge__(self, other: "ApFixed") -> bool:
+        a, b = self._key(self._coerce(other))
+        return a >= b
+
+    def __hash__(self) -> int:
+        # Equal values in different formats must hash equally; normalize by
+        # stripping trailing zero fraction bits.
+        raw, f = self._raw, self._fmt.frac_length
+        while raw and raw % 2 == 0:
+            raw //= 2
+            f -= 1
+        return hash((raw, f))
+
+    def __repr__(self) -> str:
+        return f"ApFixed({self.to_float()!r}, raw={self._raw}, fmt={self._fmt})"
+
+
+def _float_to_scaled(value: Number) -> tuple[int, int]:
+    """Represent a finite float exactly as ``num / 2**den_log2``."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value, 0
+    mantissa, exponent = math.frexp(value)
+    # mantissa in [0.5, 1); mantissa * 2**53 is an integer for IEEE doubles.
+    num = int(mantissa * (1 << 53))
+    den_log2 = 53 - exponent
+    if den_log2 < 0:
+        return num << (-den_log2), 0
+    return num, den_log2

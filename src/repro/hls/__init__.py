@@ -1,0 +1,79 @@
+"""A behavioural model of Vivado HLS scheduling, binding and reporting.
+
+The paper's speed-ups come from decisions a high-level-synthesis compiler
+makes: how deep each operation pipeline is, what initiation interval (II)
+a loop achieves under memory-port and dependence constraints, and how
+pragmas (``PIPELINE``, ``UNROLL``, ``ARRAY_PARTITION``) change those
+constraints.  This package models exactly that layer:
+
+* :mod:`repro.hls.ops` — the operator library: latency, operator II and
+  resource cost of each operation kind in floating point vs fixed point.
+* :mod:`repro.hls.ir` — a loop-nest intermediate representation of a
+  hardware kernel: arrays with storage/ports, statements with op chains
+  and memory accesses, nested loops.
+* :mod:`repro.hls.pragmas` — pragma objects and their application.
+* :mod:`repro.hls.scheduler` — the modulo-scheduling model:
+  ``II = max(ResMII, RecMII)``, pipeline depth, loop latency.
+* :mod:`repro.hls.resources` — LUT/FF/DSP/BRAM estimation and device fit.
+* :mod:`repro.hls.report` — Vivado-HLS-style text reports ("this report
+  shows for each clock cycle which operation is performed", section III-B).
+* :mod:`repro.hls.synthesis` — ties it together: kernel + pragmas +
+  device + clock → an :class:`~repro.hls.synthesis.HlsDesign`.
+"""
+
+from repro.hls.ops import OpKind, OpSpec, OperatorLibrary, DEFAULT_LIBRARY
+from repro.hls.ir import (
+    AccessKind,
+    AccessPattern,
+    ArrayDecl,
+    CarriedDependence,
+    Kernel,
+    KernelArg,
+    Loop,
+    MemAccess,
+    Statement,
+    Storage,
+)
+from repro.hls.pragmas import (
+    ArrayPartitionPragma,
+    PartitionKind,
+    PipelinePragma,
+    Pragma,
+    UnrollPragma,
+    apply_pragmas,
+)
+from repro.hls.scheduler import LoopSchedule, ScheduleResult, schedule_kernel
+from repro.hls.resources import ResourceUsage, estimate_resources
+from repro.hls.report import render_report
+from repro.hls.synthesis import HlsDesign, synthesize
+
+__all__ = [
+    "OpKind",
+    "OpSpec",
+    "OperatorLibrary",
+    "DEFAULT_LIBRARY",
+    "AccessKind",
+    "AccessPattern",
+    "ArrayDecl",
+    "CarriedDependence",
+    "Kernel",
+    "KernelArg",
+    "Loop",
+    "MemAccess",
+    "Statement",
+    "Storage",
+    "ArrayPartitionPragma",
+    "PartitionKind",
+    "PipelinePragma",
+    "Pragma",
+    "UnrollPragma",
+    "apply_pragmas",
+    "LoopSchedule",
+    "ScheduleResult",
+    "schedule_kernel",
+    "ResourceUsage",
+    "estimate_resources",
+    "render_report",
+    "HlsDesign",
+    "synthesize",
+]

@@ -1,0 +1,329 @@
+"""Loop-nest intermediate representation of a hardware kernel.
+
+A :class:`Kernel` is what SDSoC hands to Vivado HLS: a top-level function
+with argument ports, local arrays, and a nest of counted loops.  Each
+loop's body is summarized by :class:`Statement` records carrying
+
+* the *dependence chain* of operations (determines pipeline depth and,
+  with a loop-carried dependence, the recurrence-constrained II);
+* total operation counts (determines resource usage and operator
+  contention);
+* memory accesses with their target array and access pattern (determines
+  port-constrained II and, for external arrays, AXI behaviour).
+
+This is deliberately coarser than real HLS IR — it models the quantities
+that decide the paper's Table II, not general C semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HlsError
+from repro.hls.ops import OpKind
+
+
+class Storage(enum.Enum):
+    """Where an array lives."""
+
+    #: On-chip block RAM (dual-port: 2 accesses/cycle per bank).
+    BRAM = "bram"
+    #: Fully partitioned into registers (no port limit, costs FF).
+    REGISTERS = "registers"
+    #: Off-chip memory reached over an AXI master port.
+    EXTERNAL = "external"
+    #: A hardware FIFO stream (1 push + 1 pop per cycle).
+    STREAM = "stream"
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class AccessPattern(enum.Enum):
+    """Address behaviour of an access across loop iterations.
+
+    SEQUENTIAL accesses to EXTERNAL arrays can be burst/stream transferred
+    (the paper's section III-B restructuring); RANDOM ones become
+    single-beat AXI transactions (the "Marked HW function" disaster).
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+#: Ports per BRAM bank (Xilinx block RAM is true dual-port).
+BRAM_PORTS = 2
+
+#: Native BRAM port word width used for element packing (32 data bits of
+#: a BRAM36 port).
+BRAM_WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A local or external array used by the kernel.
+
+    Parameters
+    ----------
+    name:
+        Identifier referenced by :class:`MemAccess`.
+    depth:
+        Number of elements.
+    width_bits:
+        Element width in bits.
+    storage:
+        Where the array lives (see :class:`Storage`).
+    partition_factor:
+        Number of independent banks (1 = unpartitioned).  Set by
+        ``ARRAY_PARTITION`` pragmas; complete partitioning switches
+        storage to REGISTERS instead.
+    """
+
+    name: str
+    depth: int
+    width_bits: int
+    storage: Storage = Storage.BRAM
+    partition_factor: int = 1
+    word_packed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise HlsError(f"array {self.name!r}: depth must be >= 1")
+        if self.width_bits < 1:
+            raise HlsError(f"array {self.name!r}: width_bits must be >= 1")
+        if self.partition_factor < 1:
+            raise HlsError(f"array {self.name!r}: partition_factor must be >= 1")
+
+    @property
+    def total_bits(self) -> int:
+        return self.depth * self.width_bits
+
+    @property
+    def packing_factor(self) -> int:
+        """Elements sharing one BRAM word when ``word_packed``.
+
+        Narrow fixed-point elements can be packed into the 32-bit-wide
+        BRAM port word (legal when consecutive loop accesses touch
+        consecutive addresses, as a filter window does), multiplying the
+        effective access throughput — one of the real gains of the
+        paper's 16-bit conversion.
+        """
+        if not self.word_packed or self.storage is not Storage.BRAM:
+            return 1
+        return max(1, BRAM_WORD_BITS // self.width_bits)
+
+    @property
+    def ports_per_cycle(self) -> float:
+        """Accesses the array can serve each cycle."""
+        if self.storage is Storage.REGISTERS:
+            return float("inf")
+        if self.storage is Storage.STREAM:
+            return 1.0
+        if self.storage is Storage.BRAM:
+            return BRAM_PORTS * self.partition_factor * self.packing_factor
+        # EXTERNAL: handled separately by the scheduler (AXI model).
+        return 1.0
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory access per loop iteration."""
+
+    array: str
+    kind: AccessKind
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise HlsError(f"access to {self.array!r}: count must be >= 1")
+
+
+@dataclass(frozen=True)
+class CarriedDependence:
+    """A loop-carried dependence through the statement's chain.
+
+    ``distance`` is the iteration distance of the recurrence (1 for an
+    accumulator).  ``latency_ops`` names the chain segment inside the
+    recurrence; for a running sum this is just the add.
+    """
+
+    distance: int
+    latency_ops: Tuple[OpKind, ...]
+
+    def __post_init__(self) -> None:
+        if self.distance < 1:
+            raise HlsError(f"dependence distance must be >= 1, got {self.distance}")
+        if not self.latency_ops:
+            raise HlsError("carried dependence needs at least one op")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A summarized basic block executed once per loop iteration."""
+
+    name: str
+    chain: Tuple[OpKind, ...] = ()
+    ops: Dict[OpKind, int] = field(default_factory=dict)
+    accesses: Tuple[MemAccess, ...] = ()
+    carried: Optional[CarriedDependence] = None
+
+    def __post_init__(self) -> None:
+        for kind, count in self.ops.items():
+            if count < 0:
+                raise HlsError(f"statement {self.name!r}: negative count for {kind}")
+        # The chain ops must be included in the totals; add them if the
+        # author only specified the chain.
+        if self.chain and not self.ops:
+            counts: Dict[OpKind, int] = {}
+            for kind in self.chain:
+                counts[kind] = counts.get(kind, 0) + 1
+            object.__setattr__(self, "ops", counts)
+
+    def scaled(self, factor: int) -> "Statement":
+        """The statement replicated *factor* times (loop unrolling)."""
+        if factor == 1:
+            return self
+        return replace(
+            self,
+            ops={k: v * factor for k, v in self.ops.items()},
+            accesses=tuple(
+                replace(a, count=a.count * factor) for a in self.accesses
+            ),
+        )
+
+
+@dataclass
+class Loop:
+    """A counted loop with statements and child loops.
+
+    ``pipeline`` / ``unroll_factor`` are normally set by pragmas via
+    :func:`repro.hls.pragmas.apply_pragmas`, not by hand.
+    """
+
+    name: str
+    trip_count: int
+    statements: List[Statement] = field(default_factory=list)
+    subloops: List["Loop"] = field(default_factory=list)
+    pipeline: bool = False
+    unroll_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise HlsError(f"loop {self.name!r}: trip_count must be >= 1")
+        if self.unroll_factor < 1:
+            raise HlsError(f"loop {self.name!r}: unroll_factor must be >= 1")
+
+    def walk(self):
+        """Yield this loop and all descendants, outermost first."""
+        yield self
+        for sub in self.subloops:
+            yield from sub.walk()
+
+    def find(self, name: str) -> "Loop":
+        for loop in self.walk():
+            if loop.name == name:
+                return loop
+        raise HlsError(f"no loop named {name!r}")
+
+    def copy(self) -> "Loop":
+        """Deep copy (statements are immutable and shared)."""
+        return Loop(
+            name=self.name,
+            trip_count=self.trip_count,
+            statements=list(self.statements),
+            subloops=[s.copy() for s in self.subloops],
+            pipeline=self.pipeline,
+            unroll_factor=self.unroll_factor,
+        )
+
+
+@dataclass(frozen=True)
+class KernelArg:
+    """A top-level argument port of the hardware function.
+
+    ``elements`` and ``width_bits`` size the transfer; the SDSoC layer
+    uses them (with the access pattern) to pick a data mover.
+    """
+
+    name: str
+    direction: AccessKind
+    elements: int
+    width_bits: int
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise HlsError(f"arg {self.name!r}: elements must be >= 1")
+        if self.width_bits < 1:
+            raise HlsError(f"arg {self.name!r}: width_bits must be >= 1")
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * ((self.width_bits + 7) // 8)
+
+
+@dataclass
+class Kernel:
+    """A top-level hardware function: args, arrays and a loop nest."""
+
+    name: str
+    args: List[KernelArg]
+    arrays: List[ArrayDecl]
+    loops: List[Loop]
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise HlsError(f"kernel {self.name!r} has no loops")
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            raise HlsError(f"kernel {self.name!r} has duplicate array names")
+        self._validate_accesses()
+
+    def _validate_accesses(self) -> None:
+        known = {a.name for a in self.arrays}
+        for loop in self.walk():
+            for stmt in loop.statements:
+                for access in stmt.accesses:
+                    if access.array not in known:
+                        raise HlsError(
+                            f"statement {stmt.name!r} accesses unknown array "
+                            f"{access.array!r}"
+                        )
+
+    def walk(self):
+        """Yield every loop in the kernel, outermost first."""
+        for loop in self.loops:
+            yield from loop.walk()
+
+    def array(self, name: str) -> ArrayDecl:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise HlsError(f"no array named {name!r}")
+
+    def find_loop(self, name: str) -> Loop:
+        for loop in self.walk():
+            if loop.name == name:
+                return loop
+        raise HlsError(f"no loop named {name!r}")
+
+    def copy(self) -> "Kernel":
+        """Deep copy used by pragma application."""
+        return Kernel(
+            name=self.name,
+            args=list(self.args),
+            arrays=list(self.arrays),
+            loops=[l.copy() for l in self.loops],
+        )
+
+    def replace_array(self, updated: ArrayDecl) -> None:
+        for i, arr in enumerate(self.arrays):
+            if arr.name == updated.name:
+                self.arrays[i] = updated
+                return
+        raise HlsError(f"no array named {updated.name!r}")

@@ -1,0 +1,146 @@
+"""HLS pragmas and their application to a kernel.
+
+The paper's section III-B lists the two pragmas used to boost performance:
+
+* ``#pragma HLS PIPELINE`` — "increase the parallelism of the loops
+  required for pixel processing"; Vivado HLS then "tries to minimize the
+  initiation interval".
+* ``#pragma HLS ARRAY_PARTITION`` — "map and partition software-defined
+  arrays into specific FPGA memory units (e.g. BRAMs or registers)",
+  multiplying memory ports.
+
+``UNROLL`` is also modeled (SDSoC exposes it and pipelining an outer loop
+implies fully unrolling inner loops, which the scheduler handles).
+
+Pragmas are applied functionally: :func:`apply_pragmas` returns a new
+kernel, leaving the input untouched, so one kernel description can be
+synthesized under many pragma sets (design-space exploration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import PragmaError
+from repro.hls.ir import ArrayDecl, Kernel, Storage
+
+
+class Pragma:
+    """Base class for all pragmas (marker only)."""
+
+    def apply(self, kernel: Kernel) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PipelinePragma(Pragma):
+    """``#pragma HLS PIPELINE`` on a named loop.
+
+    ``ii_target`` is the requested initiation interval; the scheduler may
+    settle on a larger value if dependences or ports force it (exactly as
+    Vivado HLS reports "achieved II" vs "target II").
+    """
+
+    loop: str
+    ii_target: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ii_target < 1:
+            raise PragmaError(f"ii_target must be >= 1, got {self.ii_target}")
+
+    def apply(self, kernel: Kernel) -> None:
+        loop = _find_loop(kernel, self.loop)
+        loop.pipeline = True
+
+
+@dataclass(frozen=True)
+class UnrollPragma(Pragma):
+    """``#pragma HLS UNROLL factor=N`` on a named loop."""
+
+    loop: str
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise PragmaError(f"unroll factor must be >= 1, got {self.factor}")
+
+    def apply(self, kernel: Kernel) -> None:
+        loop = _find_loop(kernel, self.loop)
+        if self.factor > loop.trip_count:
+            raise PragmaError(
+                f"unroll factor {self.factor} exceeds trip count "
+                f"{loop.trip_count} of loop {self.loop!r}"
+            )
+        loop.unroll_factor = self.factor
+
+
+class PartitionKind(enum.Enum):
+    """ARRAY_PARTITION variants (cyclic/block behave identically in this
+    port-count model; complete converts the array to registers)."""
+
+    CYCLIC = "cyclic"
+    BLOCK = "block"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class ArrayPartitionPragma(Pragma):
+    """``#pragma HLS ARRAY_PARTITION variable=... factor=...``."""
+
+    array: str
+    kind: PartitionKind = PartitionKind.CYCLIC
+    factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind is not PartitionKind.COMPLETE and self.factor < 2:
+            raise PragmaError(
+                f"partition factor must be >= 2, got {self.factor} "
+                "(factor 1 is a no-op)"
+            )
+
+    def apply(self, kernel: Kernel) -> None:
+        decl = _find_array(kernel, self.array)
+        if decl.storage is Storage.EXTERNAL:
+            raise PragmaError(
+                f"cannot partition external array {self.array!r}; only "
+                "on-chip memories have banks"
+            )
+        if self.kind is PartitionKind.COMPLETE:
+            kernel.replace_array(
+                replace(decl, storage=Storage.REGISTERS, partition_factor=decl.depth)
+            )
+            return
+        if self.factor > decl.depth:
+            raise PragmaError(
+                f"partition factor {self.factor} exceeds array depth "
+                f"{decl.depth} of {self.array!r}"
+            )
+        kernel.replace_array(
+            replace(decl, partition_factor=decl.partition_factor * self.factor)
+        )
+
+
+def apply_pragmas(kernel: Kernel, pragmas: Sequence[Pragma]) -> Kernel:
+    """Return a copy of *kernel* with all *pragmas* applied, in order."""
+    out = kernel.copy()
+    for pragma in pragmas:
+        if not isinstance(pragma, Pragma):
+            raise PragmaError(f"not a pragma: {pragma!r}")
+        pragma.apply(out)
+    return out
+
+
+def _find_loop(kernel: Kernel, name: str):
+    try:
+        return kernel.find_loop(name)
+    except Exception as exc:
+        raise PragmaError(f"pragma targets unknown loop {name!r}") from exc
+
+
+def _find_array(kernel: Kernel, name: str) -> ArrayDecl:
+    try:
+        return kernel.array(name)
+    except Exception as exc:
+        raise PragmaError(f"pragma targets unknown array {name!r}") from exc

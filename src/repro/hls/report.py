@@ -1,0 +1,80 @@
+"""Vivado-HLS-style text reports.
+
+The paper's methodology leans on the HLS performance report: "At each
+optimization step, the performance report obtained after the compilation
+has been analyzed to identify the bottleneck of the design" (section
+III-B).  :func:`render_report` produces the equivalent artifact for this
+model: latency summary, a per-loop table with trip count / II / depth /
+latency, the II bottleneck explanation, and the resource table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _rule(width: int = 72) -> str:
+    return "=" * width
+
+
+def _format_row(cols, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+
+
+def render_report(design) -> str:
+    """Render an :class:`~repro.hls.synthesis.HlsDesign` as text."""
+    lines: List[str] = []
+    sched = design.schedule
+    lines.append(_rule())
+    lines.append(f"== HLS Report: {sched.kernel_name}")
+    lines.append(_rule())
+    lines.append(f"* Target clock : {design.clock_mhz:.1f} MHz "
+                 f"({design.clock_period_s * 1e9:.2f} ns period)")
+    lines.append(f"* Total latency: {design.total_cycles} cycles "
+                 f"({design.latency_seconds * 1e3:.3f} ms)")
+    lines.append("")
+
+    lines.append("+ Loop summary")
+    widths = (26, 10, 11, 6, 7, 14)
+    lines.append(_format_row(
+        ("loop", "trip", "pipelined", "II", "depth", "latency (cyc)"), widths
+    ))
+    lines.append(_format_row(("-" * 24, "-" * 8, "-" * 9, "-" * 4,
+                              "-" * 5, "-" * 12), widths))
+    for loop in sched.loop_table():
+        lines.append(_format_row(
+            (
+                loop.name,
+                loop.trip_count,
+                "yes" if loop.pipelined else "no",
+                loop.ii if loop.pipelined else "-",
+                loop.depth,
+                loop.latency_cycles,
+            ),
+            widths,
+        ))
+    lines.append("")
+
+    bottlenecks = [
+        loop for loop in sched.loop_table()
+        if loop.pipelined and loop.ii_breakdown and loop.ii > 1
+    ]
+    if bottlenecks:
+        lines.append("+ II bottlenecks")
+        for loop in bottlenecks:
+            bd = loop.ii_breakdown
+            lines.append(
+                f"  {loop.name}: II={bd.achieved} "
+                f"(RecMII={bd.rec_mii}, ResMII={bd.res_mii}) "
+                f"limited by {bd.limited_by}"
+            )
+        lines.append("")
+
+    res = design.resources
+    lines.append("+ Resource estimate")
+    lines.append(f"  LUT    : {res.lut}")
+    lines.append(f"  FF     : {res.ff}")
+    lines.append(f"  DSP48  : {res.dsp}")
+    lines.append(f"  BRAM18 : {res.bram18}")
+    lines.append(_rule())
+    return "\n".join(lines)

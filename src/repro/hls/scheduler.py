@@ -1,0 +1,340 @@
+"""The HLS scheduling model: initiation intervals and loop latencies.
+
+Vivado HLS pipelines a loop by finding the smallest initiation interval
+(II) compatible with two constraint families, and this module models both:
+
+* **Recurrence constraint (RecMII)** — a loop-carried dependence of
+  latency ``L`` and distance ``d`` forces ``II >= ceil(L / d)``.  A
+  floating-point accumulator (``acc += x``, fadd latency 4) therefore
+  caps a pipelined float MAC loop at II=4 while the fixed-point version
+  reaches II=1 — the arithmetic half of the paper's speed-up.
+* **Resource constraint (ResMII)** — each array bank serves a bounded
+  number of accesses per cycle, so ``II >= ceil(accesses / ports)``.
+  ``ARRAY_PARTITION`` multiplies ports, which is the memory half of the
+  paper's speed-up.
+
+External (AXI master) accesses are modeled separately: random accesses
+pay a full bus round trip each (the "Marked HW function" regression),
+sequential accesses stream at one element per cycle once a burst is
+established.
+
+Pipelining an outer loop implies fully unrolling every inner loop, as in
+Vivado HLS; the flattened statements then contend for ports, which is why
+pipelining the pixel loop is useless until the window/line arrays are
+partitioned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HlsError
+from repro.hls.ir import (
+    AccessKind,
+    AccessPattern,
+    ArrayDecl,
+    Kernel,
+    Loop,
+    Statement,
+    Storage,
+)
+from repro.hls.ops import DEFAULT_LIBRARY, OpKind, OperatorLibrary
+
+#: Cycles to enter/flush a pipelined loop (control + epilogue).
+PIPELINE_OVERHEAD = 2
+#: Per-iteration control cycles of a non-pipelined loop.
+LOOP_ITER_OVERHEAD = 1
+#: Cycles to enter/exit a non-pipelined loop.
+LOOP_ENTRY_OVERHEAD = 2
+#: Function-level handshake overhead (ap_ctrl start/done).
+FUNCTION_OVERHEAD = 10
+
+
+@dataclass(frozen=True)
+class ExternalAccessModel:
+    """Cycle cost of AXI master accesses from the fabric.
+
+    ``read_latency`` is a full single-beat round trip through the AXI
+    interconnect to DDR — the cost each *random* access pays.  Once a
+    sequential burst is established, beats stream at
+    ``burst_issue_interval`` cycles each with a single setup cost.
+    """
+
+    read_latency: int = 150
+    write_latency: int = 12
+    burst_issue_interval: int = 1
+    burst_setup: int = 20
+
+    def __post_init__(self) -> None:
+        if min(self.read_latency, self.write_latency) < 1:
+            raise HlsError("external access latencies must be >= 1")
+        if self.burst_issue_interval < 1:
+            raise HlsError("burst_issue_interval must be >= 1")
+
+
+@dataclass(frozen=True)
+class IIBreakdown:
+    """Why a pipelined loop settled on its II (for reports and tests)."""
+
+    rec_mii: int
+    res_mii: int
+    limiting_array: Optional[str]
+    achieved: int
+
+    @property
+    def limited_by(self) -> str:
+        if self.achieved <= 1:
+            return "none"
+        if self.rec_mii >= self.res_mii:
+            return "recurrence"
+        return f"memory ports ({self.limiting_array})"
+
+
+@dataclass
+class LoopSchedule:
+    """Scheduling result for one loop (and its inlined children)."""
+
+    name: str
+    trip_count: int
+    pipelined: bool
+    ii: int
+    depth: int
+    latency_cycles: int
+    ii_breakdown: Optional[IIBreakdown] = None
+    op_instances: Dict[OpKind, int] = field(default_factory=dict)
+    subloops: List["LoopSchedule"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for sub in self.subloops:
+            yield from sub.walk()
+
+
+@dataclass
+class ScheduleResult:
+    """Kernel-level schedule: per-loop results plus the total latency."""
+
+    kernel_name: str
+    loops: List[LoopSchedule]
+    total_cycles: int
+
+    def find(self, name: str) -> LoopSchedule:
+        for top in self.loops:
+            for sched in top.walk():
+                if sched.name == name:
+                    return sched
+        raise HlsError(f"no schedule for loop {name!r}")
+
+    def loop_table(self) -> List[LoopSchedule]:
+        """All loop schedules flattened, outermost first."""
+        out: List[LoopSchedule] = []
+        for top in self.loops:
+            out.extend(top.walk())
+        return out
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _flatten_statements(loop: Loop) -> List[Statement]:
+    """Statements of *loop* with every subloop fully unrolled.
+
+    Used when a loop is pipelined: Vivado HLS unrolls all nested loops,
+    so their per-iteration work multiplies by their trip counts.  A
+    recurrence carried by an *inner* loop (e.g. a MAC accumulator) turns
+    into a spatial reduction tree once that loop is unrolled, so the
+    ``carried`` marker is dropped during inlining; only dependences
+    carried by the pipelined loop itself keep constraining the II.
+    """
+    stmts = [s.scaled(loop.unroll_factor) for s in loop.statements]
+    for sub in loop.subloops:
+        inner = _flatten_statements(sub)
+        stmts.extend(
+            replace(s.scaled(sub.trip_count), carried=None) for s in inner
+        )
+    return stmts
+
+
+def _chain_latency(stmt: Statement, lib: OperatorLibrary) -> int:
+    return lib.chain_latency(stmt.chain)
+
+
+def _rec_mii(stmts: List[Statement], lib: OperatorLibrary) -> int:
+    worst = 1
+    for stmt in stmts:
+        if stmt.carried is None:
+            continue
+        latency = lib.chain_latency(stmt.carried.latency_ops)
+        worst = max(worst, _ceil_div(latency, stmt.carried.distance))
+    return worst
+
+
+def _res_mii(
+    stmts: List[Statement],
+    arrays: Dict[str, ArrayDecl],
+    external: ExternalAccessModel,
+) -> Tuple[int, Optional[str]]:
+    """Port-constrained II and the array that limits it."""
+    per_array: Dict[str, int] = {}
+    for stmt in stmts:
+        for access in stmt.accesses:
+            per_array[access.array] = per_array.get(access.array, 0) + access.count
+
+    worst, limiting = 1, None
+    for name, count in per_array.items():
+        decl = arrays[name]
+        if decl.storage is Storage.EXTERNAL:
+            # In a pipelined loop, sequential external accesses become a
+            # burst (one beat per II); random ones serialize on the bus
+            # round trip — they cannot be overlapped by the in-order AXI
+            # master that HLS infers.
+            patterns = [
+                a
+                for s in stmts
+                for a in s.accesses
+                if a.array == name
+            ]
+            if any(a.pattern is AccessPattern.RANDOM for a in patterns):
+                candidate = count * external.read_latency
+            else:
+                candidate = count * external.burst_issue_interval
+        else:
+            ports = decl.ports_per_cycle
+            if math.isinf(ports):
+                continue
+            candidate = _ceil_div(count, int(ports))
+        if candidate > worst:
+            worst, limiting = candidate, name
+    return worst, limiting
+
+
+def _onchip_port_cycles(
+    stmts: List[Statement], arrays: Dict[str, ArrayDecl]
+) -> int:
+    """Cycles the busiest on-chip array needs to serve one iteration."""
+    per_array: Dict[str, int] = {}
+    for stmt in stmts:
+        for access in stmt.accesses:
+            if arrays[access.array].storage is Storage.EXTERNAL:
+                continue
+            per_array[access.array] = per_array.get(access.array, 0) + access.count
+    worst = 0
+    for name, count in per_array.items():
+        ports = arrays[name].ports_per_cycle
+        if math.isinf(ports):
+            continue
+        worst = max(worst, _ceil_div(count, int(ports)))
+    return worst
+
+
+def _external_stall_cycles(
+    stmts: List[Statement],
+    arrays: Dict[str, ArrayDecl],
+    external: ExternalAccessModel,
+) -> int:
+    """Blocking external-access cycles per iteration (non-pipelined loop).
+
+    Without pipelining there is no burst inference: every external access
+    pays its full latency, sequential or not.  This is the mechanism
+    behind Table II's "Marked HW function" row.
+    """
+    cycles = 0
+    for stmt in stmts:
+        for access in stmt.accesses:
+            if arrays[access.array].storage is not Storage.EXTERNAL:
+                continue
+            per = (
+                external.read_latency
+                if access.kind is AccessKind.READ
+                else external.write_latency
+            )
+            cycles += access.count * per
+    return cycles
+
+
+def _op_instances(stmts: List[Statement], ii: int) -> Dict[OpKind, int]:
+    """Operator instances needed to sustain the II (for area estimation).
+
+    At II=1 every op in the body needs its own instance; a larger II lets
+    ``II`` iterations share one instance.
+    """
+    totals: Dict[OpKind, int] = {}
+    for stmt in stmts:
+        for kind, count in stmt.ops.items():
+            totals[kind] = totals.get(kind, 0) + count
+    return {kind: _ceil_div(count, max(ii, 1)) for kind, count in totals.items()}
+
+
+def _schedule_loop(
+    loop: Loop,
+    arrays: Dict[str, ArrayDecl],
+    lib: OperatorLibrary,
+    external: ExternalAccessModel,
+) -> LoopSchedule:
+    eff_trip = _ceil_div(loop.trip_count, loop.unroll_factor)
+
+    if loop.pipeline:
+        stmts = _flatten_statements(loop)
+        depth = max(1, sum(_chain_latency(s, lib) for s in stmts))
+        rec = _rec_mii(stmts, lib)
+        res, limiting = _res_mii(stmts, arrays, external)
+        ii = max(1, rec, res)
+        latency = depth + ii * (eff_trip - 1) + PIPELINE_OVERHEAD
+        return LoopSchedule(
+            name=loop.name,
+            trip_count=eff_trip,
+            pipelined=True,
+            ii=ii,
+            depth=depth,
+            latency_cycles=latency,
+            ii_breakdown=IIBreakdown(
+                rec_mii=rec, res_mii=res, limiting_array=limiting, achieved=ii
+            ),
+            op_instances=_op_instances(stmts, ii),
+        )
+
+    # Non-pipelined: body executes sequentially each iteration.  The
+    # iteration can finish no sooner than its dependence chain AND no
+    # sooner than its on-chip memory ports allow (a body with 21 loads
+    # against a dual-port BRAM needs 11 cycles of port time even without
+    # pipelining).
+    stmts = [s.scaled(loop.unroll_factor) for s in loop.statements]
+    chain_cycles = sum(_chain_latency(s, lib) for s in stmts)
+    port_cycles = _onchip_port_cycles(stmts, arrays)
+    own_depth = max(chain_cycles, port_cycles)
+    own_depth += _external_stall_cycles(stmts, arrays, external)
+
+    sub_schedules = [
+        _schedule_loop(sub, arrays, lib, external) for sub in loop.subloops
+    ]
+    sub_cycles = sum(s.latency_cycles for s in sub_schedules)
+
+    iteration = own_depth + sub_cycles + LOOP_ITER_OVERHEAD
+    latency = eff_trip * iteration + LOOP_ENTRY_OVERHEAD
+    # Sequential execution shares one instance of each operator kind.
+    instances = {kind: 1 for s in stmts for kind in s.ops}
+    return LoopSchedule(
+        name=loop.name,
+        trip_count=eff_trip,
+        pipelined=False,
+        ii=iteration,
+        depth=max(1, own_depth),
+        latency_cycles=latency,
+        op_instances=instances,
+        subloops=sub_schedules,
+    )
+
+
+def schedule_kernel(
+    kernel: Kernel,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    external: ExternalAccessModel = ExternalAccessModel(),
+) -> ScheduleResult:
+    """Schedule every loop of *kernel* and total the latency."""
+    arrays = {a.name: a for a in kernel.arrays}
+    loops = [_schedule_loop(loop, arrays, library, external) for loop in kernel.loops]
+    total = sum(l.latency_cycles for l in loops) + FUNCTION_OVERHEAD
+    return ScheduleResult(kernel_name=kernel.name, loops=loops, total_cycles=total)

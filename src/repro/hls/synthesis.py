@@ -1,0 +1,91 @@
+"""Top-level synthesis entry point: kernel → scheduled, sized design.
+
+:func:`synthesize` is the model's equivalent of pressing "Build" in
+SDSoC: it applies pragmas, schedules every loop, estimates resources,
+optionally checks device fit, and wraps the results in an
+:class:`HlsDesign` that can report latency in cycles or seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import HlsError, ResourceError
+from repro.hls.ir import Kernel
+from repro.hls.ops import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.pragmas import Pragma, apply_pragmas
+from repro.hls.resources import ResourceUsage, estimate_resources
+from repro.hls.scheduler import (
+    ExternalAccessModel,
+    ScheduleResult,
+    schedule_kernel,
+)
+
+
+@dataclass(frozen=True)
+class HlsDesign:
+    """A synthesized hardware design: schedule + resources + clock."""
+
+    kernel: Kernel
+    clock_mhz: float
+    schedule: ScheduleResult
+    resources: ResourceUsage
+
+    @property
+    def total_cycles(self) -> int:
+        """Latency of one kernel invocation, in PL clock cycles."""
+        return self.schedule.total_cycles
+
+    @property
+    def clock_period_s(self) -> float:
+        return 1.0 / (self.clock_mhz * 1e6)
+
+    @property
+    def latency_seconds(self) -> float:
+        """Latency of one kernel invocation, in seconds."""
+        return self.total_cycles * self.clock_period_s
+
+    def loop_ii(self, loop_name: str) -> int:
+        """Achieved initiation interval of a named loop."""
+        return self.schedule.find(loop_name).ii
+
+    def report(self) -> str:
+        """Vivado-HLS-style text report (see :mod:`repro.hls.report`)."""
+        from repro.hls.report import render_report
+
+        return render_report(self)
+
+
+def synthesize(
+    kernel: Kernel,
+    clock_mhz: float = 100.0,
+    pragmas: Sequence[Pragma] = (),
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    external: ExternalAccessModel = ExternalAccessModel(),
+    device_limits: Optional[ResourceUsage] = None,
+) -> HlsDesign:
+    """Synthesize *kernel* under *pragmas* at *clock_mhz*.
+
+    Raises :class:`~repro.errors.ResourceError` when *device_limits* is
+    given and the design does not fit — the situation a designer hits when
+    over-unrolling or over-partitioning (the paper: "hardware resources
+    might limit this optimization").
+    """
+    if clock_mhz <= 0:
+        raise HlsError(f"clock_mhz must be positive, got {clock_mhz}")
+    configured = apply_pragmas(kernel, pragmas)
+    schedule = schedule_kernel(configured, library=library, external=external)
+    resources = estimate_resources(configured, schedule, library=library)
+    if device_limits is not None and not resources.fits(device_limits):
+        util = resources.utilization(device_limits)
+        over = {k: f"{v:.0%}" for k, v in util.items() if v > 1.0}
+        raise ResourceError(
+            f"design {kernel.name!r} does not fit the device: {over}"
+        )
+    return HlsDesign(
+        kernel=configured,
+        clock_mhz=clock_mhz,
+        schedule=schedule,
+        resources=resources,
+    )

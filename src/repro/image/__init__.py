@@ -1,0 +1,66 @@
+"""HDR image substrate: containers, synthetic scenes, file I/O, metrics.
+
+The paper evaluates on a single 1024x1024 HDR photograph (its Fig. 5a),
+which is not distributed with the paper.  This package provides everything
+needed to replace and evaluate it:
+
+* :class:`HDRImage` — a float32 RGB/gray container with dynamic-range and
+  luminance helpers.
+* :mod:`repro.image.synthetic` — procedural HDR scenes with photographic
+  dynamic range (the documented substitution for Fig. 5a).
+* :mod:`repro.image.pfm` / :mod:`repro.image.ppm` — portable float map and
+  portable pixmap I/O implemented from scratch (no external imaging
+  dependency), used to persist experiment outputs.
+* :mod:`repro.image.metrics` — MSE / PSNR / SSIM, the quality metrics of
+  paper section IV-B.
+"""
+
+from repro.image.hdr import HDRImage
+from repro.image.color import luminance, rgb_to_gray, gray_to_rgb
+from repro.image.synthetic import (
+    SceneParams,
+    window_interior_scene,
+    outdoor_sun_scene,
+    gradient_scene,
+    checker_scene,
+    starfield_scene,
+    make_scene,
+    SCENE_BUILDERS,
+)
+from repro.image.metrics import (
+    mse,
+    psnr,
+    ssim,
+    SsimResult,
+    dynamic_range,
+    dynamic_range_stops,
+)
+from repro.image.pfm import read_pfm, write_pfm
+from repro.image.ppm import read_ppm, write_ppm, write_pgm, to_8bit
+
+__all__ = [
+    "HDRImage",
+    "luminance",
+    "rgb_to_gray",
+    "gray_to_rgb",
+    "SceneParams",
+    "window_interior_scene",
+    "outdoor_sun_scene",
+    "gradient_scene",
+    "checker_scene",
+    "starfield_scene",
+    "make_scene",
+    "SCENE_BUILDERS",
+    "mse",
+    "psnr",
+    "ssim",
+    "SsimResult",
+    "dynamic_range",
+    "dynamic_range_stops",
+    "read_pfm",
+    "write_pfm",
+    "read_ppm",
+    "write_ppm",
+    "write_pgm",
+    "to_8bit",
+]

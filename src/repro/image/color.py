@@ -1,0 +1,47 @@
+"""Color-space helpers: luminance extraction and gray/RGB conversion.
+
+The tone-mapping mask is computed from image luminance (Moroney 2000 uses
+the intensity of the inverted image); these helpers implement the standard
+Rec. 601 luma weights used by the reference C++ implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+#: Rec. 601 luma weights (the classic 0.299/0.587/0.114 triple).
+LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114], dtype=np.float64)
+
+
+def luminance(pixels: np.ndarray) -> np.ndarray:
+    """Luminance plane of an ``(H, W, 3)`` RGB array (or pass-through gray).
+
+    Accepts either a 2-D gray image (returned unchanged as float64) or a
+    3-D RGB image, in which case the Rec. 601 weighted sum is returned.
+    """
+    pixels = np.asarray(pixels)
+    if pixels.ndim == 2:
+        return pixels.astype(np.float64)
+    if pixels.ndim == 3 and pixels.shape[2] == 3:
+        return pixels.astype(np.float64) @ LUMA_WEIGHTS
+    raise ImageError(
+        f"expected (H, W) gray or (H, W, 3) RGB pixels, got shape {pixels.shape}"
+    )
+
+
+def rgb_to_gray(pixels: np.ndarray) -> np.ndarray:
+    """Alias of :func:`luminance` for RGB input (requires 3 channels)."""
+    pixels = np.asarray(pixels)
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise ImageError(f"expected (H, W, 3) RGB pixels, got shape {pixels.shape}")
+    return luminance(pixels)
+
+
+def gray_to_rgb(plane: np.ndarray) -> np.ndarray:
+    """Replicate a gray plane into three identical RGB channels."""
+    plane = np.asarray(plane)
+    if plane.ndim != 2:
+        raise ImageError(f"expected (H, W) gray plane, got shape {plane.shape}")
+    return np.repeat(plane[:, :, np.newaxis], 3, axis=2)

@@ -1,0 +1,114 @@
+"""Portable pixmap (PPM/PGM) output for tone-mapped LDR results.
+
+The tone mapper's output is a displayable low-dynamic-range image; writing
+it as binary PPM (P6) / PGM (P5) lets any viewer open the Fig. 5b/5c
+reproductions without imaging libraries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ImageFormatError
+
+PathLike = Union[str, Path]
+
+
+def to_8bit(pixels: np.ndarray, assume_unit_range: bool = True) -> np.ndarray:
+    """Convert float pixels to uint8 with rounding.
+
+    With ``assume_unit_range`` the input is clipped to ``[0, 1]`` and
+    scaled by 255 (the tone mapper emits unit-range output); otherwise the
+    input is first rescaled by its own maximum.
+    """
+    pixels = np.asarray(pixels, dtype=np.float64)
+    if not assume_unit_range:
+        peak = pixels.max()
+        if peak > 0:
+            pixels = pixels / peak
+    pixels = np.clip(pixels, 0.0, 1.0)
+    return np.round(pixels * 255.0).astype(np.uint8)
+
+
+def write_ppm(pixels: np.ndarray, path: PathLike) -> None:
+    """Write an ``(H, W, 3)`` uint8 or unit-range float array as binary PPM."""
+    pixels = _prepare(pixels, channels=3)
+    height, width = pixels.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(b"P6\n%d %d\n255\n" % (width, height))
+        fh.write(pixels.tobytes())
+
+
+def write_pgm(pixels: np.ndarray, path: PathLike) -> None:
+    """Write an ``(H, W)`` uint8 or unit-range float array as binary PGM."""
+    pixels = _prepare(pixels, channels=1)
+    height, width = pixels.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(b"P5\n%d %d\n255\n" % (width, height))
+        fh.write(pixels.tobytes())
+
+
+def read_ppm(path: PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) or PGM (P5) file into a uint8 array."""
+    with open(path, "rb") as fh:
+        magic = _token(fh)
+        if magic == b"P6":
+            channels = 3
+        elif magic == b"P5":
+            channels = 1
+        else:
+            raise ImageFormatError(f"{path}: unsupported magic {magic!r}")
+        try:
+            width = int(_token(fh))
+            height = int(_token(fh))
+            maxval = int(_token(fh))
+        except ValueError as exc:
+            raise ImageFormatError(f"{path}: malformed header") from exc
+        if maxval != 255:
+            raise ImageFormatError(f"{path}: only maxval 255 supported, got {maxval}")
+        count = width * height * channels
+        raw = fh.read(count)
+        if len(raw) != count:
+            raise ImageFormatError(f"{path}: truncated payload")
+    data = np.frombuffer(raw, dtype=np.uint8)
+    if channels == 3:
+        return data.reshape(height, width, 3).copy()
+    return data.reshape(height, width).copy()
+
+
+def _prepare(pixels: np.ndarray, channels: int) -> np.ndarray:
+    pixels = np.asarray(pixels)
+    if np.issubdtype(pixels.dtype, np.floating):
+        pixels = to_8bit(pixels)
+    if pixels.dtype != np.uint8:
+        raise ImageFormatError(f"expected uint8 or float pixels, got {pixels.dtype}")
+    if channels == 3:
+        if pixels.ndim == 2:
+            pixels = np.repeat(pixels[:, :, None], 3, axis=2)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ImageFormatError(f"expected (H, W, 3) pixels, got {pixels.shape}")
+    else:
+        if pixels.ndim != 2:
+            raise ImageFormatError(f"expected (H, W) pixels, got {pixels.shape}")
+    return pixels
+
+
+def _token(fh) -> bytes:
+    """Read one header token, skipping ``#`` comment lines."""
+    token = b""
+    while True:
+        ch = fh.read(1)
+        if ch == b"":
+            raise ImageFormatError("unexpected end of header")
+        if ch == b"#":
+            while ch not in (b"\n", b""):
+                ch = fh.read(1)
+            continue
+        if ch.isspace():
+            if token:
+                return token
+            continue
+        token += ch

@@ -1,0 +1,222 @@
+"""Procedural HDR test scenes.
+
+The paper's evaluation input (Fig. 5a, a 1024x1024 HDR photograph) is not
+available, so these generators produce deterministic synthetic scenes with
+the statistics that matter to the experiments:
+
+* a dynamic range of several orders of magnitude (so normalization and
+  non-linear masking operate in their intended regime);
+* a mix of smooth regions, hard edges and fine texture (so Gaussian-blur
+  quantization error — the PSNR/SSIM experiment — is exercised on both
+  low- and high-frequency content);
+* both very dark and very bright regions (so the tone mapper's
+  "dark zones become brighter / bright zones become darker" behaviour is
+  observable).
+
+All scenes are reproducible from a seed and documented in DESIGN.md as the
+substitution for the paper's photograph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.image.hdr import HDRImage
+
+
+@dataclass(frozen=True)
+class SceneParams:
+    """Parameters shared by all scene generators.
+
+    Parameters
+    ----------
+    height, width:
+        Output size in pixels.  The paper uses 1024x1024.
+    peak_luminance:
+        Luminance of the brightest feature (cd/m^2-like arbitrary units).
+        Combined with the darkest features this sets the dynamic range.
+    seed:
+        Seed for the deterministic RNG used for texture/noise.
+    color:
+        Generate RGB (True) or gray (False).
+    """
+
+    height: int = 1024
+    width: int = 1024
+    peak_luminance: float = 4000.0
+    seed: int = 2018  # the paper's publication year; any fixed seed works
+    color: bool = True
+
+    def __post_init__(self) -> None:
+        if self.height < 8 or self.width < 8:
+            raise ImageError(
+                f"scenes must be at least 8x8, got {self.height}x{self.width}"
+            )
+        if self.peak_luminance <= 0:
+            raise ImageError("peak_luminance must be positive")
+
+
+def _grid(params: SceneParams) -> tuple[np.ndarray, np.ndarray]:
+    """Normalized coordinate grids ``(y, x)`` in ``[0, 1]``."""
+    y = np.linspace(0.0, 1.0, params.height, dtype=np.float64)[:, None]
+    x = np.linspace(0.0, 1.0, params.width, dtype=np.float64)[None, :]
+    return y, x
+
+
+def _tint(base: np.ndarray, params: SceneParams, tint: tuple) -> np.ndarray:
+    """Apply a per-channel tint (or return gray if params.color is False)."""
+    if not params.color:
+        return base
+    return np.stack([base * t for t in tint], axis=2)
+
+
+def _finalize(pixels: np.ndarray, params: SceneParams, name: str) -> HDRImage:
+    pixels = np.clip(pixels, 0.0, None)
+    peak = pixels.max()
+    if peak > 0:
+        pixels = pixels * (params.peak_luminance / peak)
+    return HDRImage(pixels.astype(np.float32), name=name)
+
+
+def window_interior_scene(params: SceneParams = SceneParams()) -> HDRImage:
+    """A dark interior with a bright window — the canonical HDR test scene.
+
+    The interior sits around ``1e-3`` of peak luminance with wood-grain
+    style texture; the window is a bright, slightly graded rectangle with a
+    cross-bar, giving the hard bright/dark edges on which local tone
+    mapping visibly outperforms global operators.
+    """
+    rng = np.random.default_rng(params.seed)
+    y, x = _grid(params)
+
+    # Interior: dim ambient falloff from the window plus low-contrast texture.
+    window_cx, window_cy = 0.68, 0.40
+    dist = np.sqrt((x - window_cx) ** 2 + (y - window_cy) ** 2)
+    ambient = 3e-3 * np.exp(-2.5 * dist) + 4e-4
+    grain = 1.0 + 0.25 * np.sin(2 * np.pi * 37 * y + 3 * np.sin(2 * np.pi * 5 * x))
+    noise = rng.normal(0.0, 0.03, size=(params.height, params.width))
+    interior = ambient * grain * (1.0 + noise)
+
+    # Window: a bright rectangle with a vertical/horizontal cross-bar and a
+    # soft sky gradient behind it.
+    in_window = (
+        (x > window_cx - 0.16)
+        & (x < window_cx + 0.16)
+        & (y > window_cy - 0.22)
+        & (y < window_cy + 0.22)
+    )
+    bar = (np.abs(x - window_cx) < 0.012) | (np.abs(y - window_cy) < 0.012)
+    sky = 1.0 - 0.35 * (y - (window_cy - 0.22)) / 0.44
+    window = np.where(in_window & ~bar, sky, 0.0)
+
+    # A dim table edge in the foreground for mid-tones.
+    table = 0.02 * np.exp(-(((y - 0.85) / 0.05) ** 2)) * (0.5 + 0.5 * x)
+
+    base = np.maximum(interior, 0.0) + window + table
+    pixels = _tint(base, params, tint=(1.00, 0.92, 0.78))
+    if params.color:
+        # Make the window slightly blue (daylight) against the warm interior.
+        blue_boost = np.where(in_window & ~bar, 1.25, 1.0)
+        pixels = pixels.copy()
+        pixels[:, :, 2] *= blue_boost
+    return _finalize(pixels, params, name="window_interior")
+
+
+def outdoor_sun_scene(params: SceneParams = SceneParams()) -> HDRImage:
+    """Outdoor scene: sky gradient, sun disk, textured ground, shadow."""
+    rng = np.random.default_rng(params.seed)
+    y, x = _grid(params)
+
+    horizon = 0.55
+    sky = np.where(y < horizon, 0.08 * (1.0 - y / horizon) + 0.02, 0.0)
+
+    sun_cx, sun_cy, sun_r = 0.75, 0.18, 0.035
+    sun_dist = np.sqrt((x - sun_cx) ** 2 + (y - sun_cy) ** 2)
+    sun = np.where(sun_dist < sun_r, 1.0, 0.0)
+    halo = 0.12 * np.exp(-((sun_dist / (3 * sun_r)) ** 2))
+
+    ground_tex = 1.0 + 0.3 * rng.normal(0.0, 1.0, size=(params.height, params.width))
+    ground = np.where(y >= horizon, 8e-3 * ground_tex, 0.0)
+    shadow = np.where(
+        (y >= horizon) & (x > 0.15) & (x < 0.45), 0.12, 1.0
+    )  # a long cast shadow: very dark ground region
+
+    base = sky + sun + halo + np.clip(ground, 0, None) * shadow
+    pixels = _tint(base, params, tint=(1.0, 0.95, 0.85))
+    return _finalize(pixels, params, name="outdoor_sun")
+
+
+def gradient_scene(params: SceneParams = SceneParams()) -> HDRImage:
+    """Horizontal exponential luminance ramp spanning the full range.
+
+    Useful for quality experiments: quantization error as a function of
+    signal level is directly readable along the ramp.
+    """
+    _, x = _grid(params)
+    decades = 4.0
+    base = np.power(10.0, decades * (x - 1.0))  # 10**-4 .. 1
+    base = np.broadcast_to(base, (params.height, params.width)).copy()
+    pixels = _tint(base, params, tint=(1.0, 1.0, 1.0))
+    return _finalize(pixels, params, name="gradient")
+
+
+def checker_scene(params: SceneParams = SceneParams()) -> HDRImage:
+    """Checkerboard alternating bright/dark tiles at stepped exposures.
+
+    Hard edges at tile boundaries maximize ringing/quantization visibility
+    in the blurred mask — a worst case for the fixed-point accelerator.
+    """
+    y, x = _grid(params)
+    tiles = 8
+    ty = np.floor(y * tiles).astype(int)
+    tx = np.floor(x * tiles).astype(int)
+    checker = (ty + tx) % 2
+    # Exposure steps across columns: each column pair doubles in luminance.
+    exposure = np.power(2.0, tx.astype(np.float64) - tiles + 1)
+    base = np.where(checker == 1, exposure, exposure * 5e-3)
+    pixels = _tint(base, params, tint=(0.95, 1.0, 0.9))
+    return _finalize(pixels, params, name="checker")
+
+
+def starfield_scene(params: SceneParams = SceneParams()) -> HDRImage:
+    """A near-black field with isolated bright points and a nebula wash.
+
+    Exercises the extreme end of the dynamic range: almost every pixel is
+    near zero while a handful saturate the normalization peak.
+    """
+    rng = np.random.default_rng(params.seed)
+    base = np.full((params.height, params.width), 2e-4, dtype=np.float64)
+    star_count = max(20, (params.height * params.width) // 8192)
+    ys = rng.integers(1, params.height - 1, size=star_count)
+    xs = rng.integers(1, params.width - 1, size=star_count)
+    mags = np.power(10.0, rng.uniform(-1.5, 0.0, size=star_count))
+    for sy, sx, mag in zip(ys, xs, mags):
+        base[sy, sx] = max(base[sy, sx], mag)
+        base[sy - 1 : sy + 2, sx - 1 : sx + 2] += 0.15 * mag
+    yg, xg = _grid(params)
+    nebula = 2e-3 * np.exp(-(((xg - 0.3) / 0.2) ** 2 + ((yg - 0.6) / 0.3) ** 2))
+    base += nebula
+    pixels = _tint(base, params, tint=(0.9, 0.95, 1.0))
+    return _finalize(pixels, params, name="starfield")
+
+
+#: Registry of scene builders by name (used by the CLI and workload module).
+SCENE_BUILDERS = {
+    "window_interior": window_interior_scene,
+    "outdoor_sun": outdoor_sun_scene,
+    "gradient": gradient_scene,
+    "checker": checker_scene,
+    "starfield": starfield_scene,
+}
+
+
+def make_scene(name: str, params: SceneParams = SceneParams()) -> HDRImage:
+    """Build a scene by registry name."""
+    if name not in SCENE_BUILDERS:
+        raise ImageError(
+            f"unknown scene {name!r}; available: {sorted(SCENE_BUILDERS)}"
+        )
+    return SCENE_BUILDERS[name](params)

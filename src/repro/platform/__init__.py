@@ -1,0 +1,58 @@
+"""The Zynq-7000 All Programmable SoC platform model.
+
+"The platform targeted for the design implementation has been a Xilinx
+Zynq-7000 AP SoC, a heterogeneous system that combines the flexibility of
+programmable logic together with the software programmability of an
+ARM-based processor" (paper section III-A).  This package models every
+platform component the experiments depend on:
+
+* :mod:`repro.platform.device` — the device catalog (Z-7010/7020/7045)
+  with PL resource counts.
+* :mod:`repro.platform.clock` — clock domains (PS 667 MHz, PL 100 MHz,
+  DDR).
+* :mod:`repro.platform.cpu` — an ARM Cortex-A9 cycle-cost model with an
+  analytic cache-penalty component.
+* :mod:`repro.platform.cache` — a set-associative LRU cache simulator
+  used to derive and validate the analytic penalties.
+* :mod:`repro.platform.memory` — DDR3 and block-RAM models.
+* :mod:`repro.platform.axi` — AXI ports and SDSoC data movers: burst DMA
+  versus single-beat access, cache-coherence (flush/invalidate) costs.
+* :mod:`repro.platform.soc` — :class:`~repro.platform.soc.ZynqSoC`,
+  the composition the SDSoC flow and experiments run against.
+"""
+
+from repro.platform.device import ZynqDevice, ZYNQ_7010, ZYNQ_7020, ZYNQ_7045
+from repro.platform.clock import ClockDomain
+from repro.platform.cpu import ArmCortexA9Model, CpuCosts, SwKernelTrace
+from repro.platform.cache import CacheConfig, CacheSim, CacheStats
+from repro.platform.memory import BramModel, DdrModel
+from repro.platform.axi import (
+    AxiPort,
+    DataMoverKind,
+    DataMover,
+    TransferCost,
+    transfer_cost,
+)
+from repro.platform.soc import ZynqSoC
+
+__all__ = [
+    "ZynqDevice",
+    "ZYNQ_7010",
+    "ZYNQ_7020",
+    "ZYNQ_7045",
+    "ClockDomain",
+    "ArmCortexA9Model",
+    "CpuCosts",
+    "SwKernelTrace",
+    "CacheConfig",
+    "CacheSim",
+    "CacheStats",
+    "BramModel",
+    "DdrModel",
+    "AxiPort",
+    "DataMoverKind",
+    "DataMover",
+    "TransferCost",
+    "transfer_cost",
+    "ZynqSoC",
+]

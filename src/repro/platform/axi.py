@@ -1,0 +1,150 @@
+"""AXI ports and SDSoC data movers.
+
+SDSoC's "data motion network" (paper section III-B) decides how bytes
+move between the PS address space and an accelerator: a scatter-gather or
+simple DMA streaming through a high-performance (HP) port, a FIFO, a
+zero-copy AXI master owned by the accelerator, or register-style AXI-Lite
+writes.  The choice dominates Table II: the same Gaussian-blur datapath
+is 10x slower than software when each pixel crosses the bus as a
+single-beat transaction and 10x faster when it streams as bursts.
+
+:func:`transfer_cost` prices one argument transfer: CPU-side driver setup
+and cache maintenance (flush/invalidate for non-coherent movers) plus the
+bus-side streaming time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DataMoverError, PlatformError
+from repro.platform.clock import ClockDomain
+from repro.platform.memory import DdrModel
+
+
+class AxiPort(enum.Enum):
+    """PS/PL interface ports of the Zynq-7000."""
+
+    #: General-purpose port, 32-bit, CPU-mastered.
+    GP = "gp"
+    #: High-performance port, 64-bit, PL-mastered, to DDR.
+    HP = "hp"
+    #: Accelerator coherency port, 64-bit, snoops the L2 (no flushes).
+    ACP = "acp"
+
+    @property
+    def width_bits(self) -> int:
+        return 32 if self is AxiPort.GP else 64
+
+
+class DataMoverKind(enum.Enum):
+    """SDSoC data movers."""
+
+    AXI_DMA_SIMPLE = "axi_dma_simple"
+    AXI_DMA_SG = "axi_dma_sg"
+    AXI_FIFO = "axi_fifo"
+    ZERO_COPY = "zero_copy"
+    AXI_LITE = "axi_lite"
+
+
+#: CPU cycles to program each mover for one transfer (driver call,
+#: descriptor setup).  SG DMA has the heaviest driver; AXI-Lite is a
+#: couple of register writes per word (charged per word elsewhere).
+_SETUP_CPU_CYCLES = {
+    DataMoverKind.AXI_DMA_SIMPLE: 3000,
+    DataMoverKind.AXI_DMA_SG: 6000,
+    DataMoverKind.AXI_FIFO: 800,
+    DataMoverKind.ZERO_COPY: 300,
+    DataMoverKind.AXI_LITE: 100,
+}
+
+#: Cache-maintenance cost per cache line (clean or invalidate, DSB
+#: amortized), in CPU cycles.
+CACHE_OP_CYCLES_PER_LINE = 6
+CACHE_LINE_BYTES = 32
+
+#: Size limit of the simple DMA (contiguous, single descriptor).
+AXI_DMA_SIMPLE_MAX_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DataMover:
+    """A configured data mover instance."""
+
+    kind: DataMoverKind
+    port: AxiPort = AxiPort.HP
+
+    def __post_init__(self) -> None:
+        if self.kind is DataMoverKind.AXI_LITE and self.port is not AxiPort.GP:
+            raise DataMoverError("AXI-Lite movers use the GP port")
+
+    @property
+    def coherent(self) -> bool:
+        """Coherent movers (ACP) need no cache flush/invalidate."""
+        return self.port is AxiPort.ACP
+
+    @property
+    def setup_cpu_cycles(self) -> int:
+        return _SETUP_CPU_CYCLES[self.kind]
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Cost decomposition of one argument transfer."""
+
+    cpu_cycles: float          # PS-side: driver setup + cache maintenance
+    bus_seconds: float         # PL/DDR-side streaming time
+    description: str = ""
+
+    def total_seconds(self, cpu_freq_mhz: float) -> float:
+        if cpu_freq_mhz <= 0:
+            raise PlatformError("cpu_freq_mhz must be positive")
+        return self.cpu_cycles / (cpu_freq_mhz * 1e6) + self.bus_seconds
+
+
+def transfer_cost(
+    num_bytes: int,
+    mover: DataMover,
+    ddr: DdrModel,
+    pl_clock: ClockDomain,
+) -> TransferCost:
+    """Price one transfer of *num_bytes* through *mover*.
+
+    Burst movers stream at the lower of the DDR effective bandwidth and
+    the port bandwidth (``width x PL clock``).  Non-coherent movers add
+    one cache-maintenance pass over the buffer on the CPU.  AXI-Lite
+    moves each 32-bit word as an individual CPU-driven transaction.
+    """
+    if num_bytes < 0:
+        raise DataMoverError("num_bytes must be non-negative")
+
+    cpu_cycles = float(mover.setup_cpu_cycles)
+    if not mover.coherent and mover.kind is not DataMoverKind.AXI_LITE:
+        lines = -(-num_bytes // CACHE_LINE_BYTES)
+        cpu_cycles += lines * CACHE_OP_CYCLES_PER_LINE
+
+    if mover.kind is DataMoverKind.AXI_LITE:
+        words = -(-num_bytes // 4)
+        # Each word: CPU store through GP + bus round trip.
+        cpu_cycles += words * 10
+        bus_seconds = ddr.single_beat_seconds(words)
+        return TransferCost(cpu_cycles, bus_seconds, "axi_lite word writes")
+
+    if mover.kind is DataMoverKind.AXI_DMA_SIMPLE and num_bytes > AXI_DMA_SIMPLE_MAX_BYTES:
+        raise DataMoverError(
+            f"axi_dma_simple moves at most {AXI_DMA_SIMPLE_MAX_BYTES} bytes; "
+            f"got {num_bytes} (use axi_dma_sg)"
+        )
+
+    if mover.kind is DataMoverKind.ZERO_COPY:
+        # The accelerator masters the bus itself; the kernel's external
+        # accesses are priced by the HLS schedule, not here.
+        return TransferCost(cpu_cycles, 0.0, "zero_copy (accelerator-mastered)")
+
+    port_bandwidth = mover.port.width_bits / 8 * pl_clock.freq_hz
+    bandwidth = min(ddr.effective_bandwidth, port_bandwidth)
+    bus_seconds = (
+        ddr.transaction_latency_s + num_bytes / bandwidth if num_bytes else 0.0
+    )
+    return TransferCost(cpu_cycles, bus_seconds, f"{mover.kind.value} burst")

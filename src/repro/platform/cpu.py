@@ -1,0 +1,177 @@
+"""ARM Cortex-A9 software cost model.
+
+Software execution time is modeled from operation counts: a kernel is
+summarized as a :class:`SwKernelTrace` (floating-point ops, integer ops,
+loads/stores with an access-pattern split, libm calls, loop iterations),
+and :class:`ArmCortexA9Model` prices it in CPU cycles.
+
+The per-op costs model a single in-order Cortex-A9 issue stream running
+*unoptimized* compiled code — the paper is explicit that "the code was
+not optimized" — so each arithmetic op carries its full VFP latency (no
+software pipelining or NEON vectorization) plus load/store traffic, and
+``pow``/``exp2`` hit libm's double-precision routines.  Memory penalties
+come from an analytic cache model whose constants are validated against
+the :class:`~repro.platform.cache.CacheSim` simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.platform.cache import A9_L1D, ZYNQ_L2, CacheConfig
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Per-operation CPU cycle costs (Cortex-A9, unoptimized codegen).
+
+    VFP scalar latencies on the A9 are ~4 cycles for add/mul; without
+    scheduling the compiler serializes them, and -O0-style spills add a
+    few cycles of load/store per operation, reflected in the defaults.
+    """
+
+    flop: float = 10.0           # serialized VFP add/mul incl. spills
+    int_op: float = 1.5
+    load_l1: float = 1.0
+    store: float = 1.5
+    l2_hit_penalty: float = 8.0
+    ddr_penalty: float = 60.0
+    branch: float = 2.0
+    call: float = 20.0
+    pow_call: float = 3800.0     # libm double-precision pow on ARM32
+    exp2_call: float = 900.0
+    div: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise PlatformError(f"CPU cost {name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class SwKernelTrace:
+    """Operation summary of one software kernel execution.
+
+    Memory traffic is split by locality class so the analytic cache model
+    can price it:
+
+    * ``sequential_loads`` — unit-stride streaming (row-major row pass);
+      misses once per cache line.
+    * ``strided_loads`` — large-stride streaming (column pass over a
+      row-major image); misses L1 every access once the stride exceeds a
+      line, hits L2 while the working set fits.
+    * ``random_loads`` — no locality; misses to DDR.
+    * ``local_loads`` — register/L1-resident accesses (coefficients,
+      loop-local scalars).
+    """
+
+    name: str = "kernel"
+    flops: int = 0
+    int_ops: int = 0
+    local_loads: int = 0
+    sequential_loads: int = 0
+    strided_loads: int = 0
+    random_loads: int = 0
+    stores: int = 0
+    sequential_store_bytes: int = 0
+    branches: int = 0
+    calls: int = 0
+    pow_calls: int = 0
+    exp2_calls: int = 0
+    divs: int = 0
+    strided_working_set_bytes: int = 0
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "flops", "int_ops", "local_loads", "sequential_loads",
+            "strided_loads", "random_loads", "stores",
+            "sequential_store_bytes", "branches", "calls", "pow_calls",
+            "exp2_calls", "divs", "strided_working_set_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise PlatformError(f"trace field {name} must be non-negative")
+        if self.element_bytes < 1:
+            raise PlatformError("element_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ArmCortexA9Model:
+    """Cycle/time model of the Zynq PS running one core."""
+
+    freq_mhz: float = 666.7
+    costs: CpuCosts = field(default_factory=CpuCosts)
+    l1: CacheConfig = A9_L1D
+    l2: CacheConfig = ZYNQ_L2
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise PlatformError("CPU frequency must be positive")
+
+    # ------------------------------------------------------------------
+    # Analytic cache penalties
+    # ------------------------------------------------------------------
+    def sequential_load_cycles(self, count: int) -> float:
+        """Unit-stride loads: one line fill per ``line/element`` loads.
+
+        The line fill goes to L2 (hardware prefetch hides part of the DDR
+        latency for streaming, so the effective penalty is an L2-class
+        hit on average).
+        """
+        c = self.costs
+        elements_per_line = max(1, self.l1.line_bytes // 4)
+        misses = count / elements_per_line
+        return count * c.load_l1 + misses * c.l2_hit_penalty
+
+    def strided_load_cycles(self, count: int, working_set_bytes: int) -> float:
+        """Large-stride loads: every access misses L1.
+
+        While the strided working set fits in L2 (e.g. the K rows a
+        vertical blur pass revisits), misses are L2 hits; beyond that
+        they go to DDR.
+        """
+        c = self.costs
+        penalty = (
+            c.l2_hit_penalty
+            if working_set_bytes <= self.l2.size_bytes
+            else c.ddr_penalty
+        )
+        return count * (c.load_l1 + penalty)
+
+    def random_load_cycles(self, count: int) -> float:
+        """No-locality loads: L1 and L2 both miss."""
+        c = self.costs
+        return count * (c.load_l1 + c.ddr_penalty)
+
+    # ------------------------------------------------------------------
+    # Kernel pricing
+    # ------------------------------------------------------------------
+    def cycles(self, trace: SwKernelTrace) -> float:
+        """Total CPU cycles to execute *trace*."""
+        c = self.costs
+        total = 0.0
+        total += trace.flops * c.flop
+        total += trace.int_ops * c.int_op
+        total += trace.local_loads * c.load_l1
+        total += self.sequential_load_cycles(trace.sequential_loads)
+        total += self.strided_load_cycles(
+            trace.strided_loads, trace.strided_working_set_bytes
+        )
+        total += self.random_load_cycles(trace.random_loads)
+        total += trace.stores * c.store
+        total += trace.branches * c.branch
+        total += trace.calls * c.call
+        total += trace.pow_calls * c.pow_call
+        total += trace.exp2_calls * c.exp2_call
+        total += trace.divs * c.div
+        return total
+
+    def seconds(self, trace: SwKernelTrace) -> float:
+        """Wall-clock seconds to execute *trace* on one core."""
+        return self.cycles(trace) / (self.freq_mhz * 1e6)
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        if cycles < 0:
+            raise PlatformError("cycles must be non-negative")
+        return cycles / (self.freq_mhz * 1e6)

@@ -1,0 +1,62 @@
+"""Zynq-7000 device catalog.
+
+Resource counts from the Zynq-7000 product tables (paper reference [10],
+UG585).  The paper does not name its exact part; the ZC702 evaluation
+board carries a Z-7020, the usual SDSoC target of that era, so
+:data:`ZYNQ_7020` is the default device throughout the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.hls.resources import ResourceUsage
+
+
+@dataclass(frozen=True)
+class ZynqDevice:
+    """One Zynq-7000 part: PL resources and PS parameters.
+
+    ``bram18`` counts BRAM18 primitives (two per 36 Kb block).
+    """
+
+    name: str
+    lut: int
+    ff: int
+    dsp: int
+    bram18: int
+    max_cpu_mhz: float
+    cpu_cores: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.lut, self.ff, self.dsp, self.bram18) <= 0:
+            raise PlatformError(f"device {self.name!r}: resources must be positive")
+        if self.max_cpu_mhz <= 0:
+            raise PlatformError(f"device {self.name!r}: max_cpu_mhz must be positive")
+
+    @property
+    def limits(self) -> ResourceUsage:
+        """PL resources as a :class:`ResourceUsage` for fit checks."""
+        return ResourceUsage(lut=self.lut, ff=self.ff, dsp=self.dsp,
+                             bram18=self.bram18)
+
+    @property
+    def bram_kbytes(self) -> float:
+        """Total block RAM capacity in kilobytes."""
+        return self.bram18 * 18.0 * 1024.0 / 8.0 / 1024.0
+
+
+ZYNQ_7010 = ZynqDevice(
+    name="XC7Z010", lut=17600, ff=35200, dsp=80, bram18=120, max_cpu_mhz=667.0
+)
+
+ZYNQ_7020 = ZynqDevice(
+    name="XC7Z020", lut=53200, ff=106400, dsp=220, bram18=280, max_cpu_mhz=667.0
+)
+
+ZYNQ_7045 = ZynqDevice(
+    name="XC7Z045", lut=218600, ff=437200, dsp=900, bram18=1090, max_cpu_mhz=800.0
+)
+
+DEVICES = {d.name: d for d in (ZYNQ_7010, ZYNQ_7020, ZYNQ_7045)}

@@ -1,0 +1,35 @@
+"""Power and energy models (the paper's section IV-C substrate).
+
+The paper measures per-rail power with TI power controllers over PMBus
+and decomposes the resulting energy two ways:
+
+* by **rail** — processing system (PS), programmable logic (PL), DDR and
+  BRAM (Fig. 7);
+* by **role** — the "bottomline" (idle power integrated over the run)
+  versus the "execution overhead" (additional power while computing)
+  (Fig. 8).
+
+This package reproduces that stack: a per-rail power model whose PL terms
+depend on resource utilization (:mod:`repro.power.model`), a piecewise-
+constant execution timeline, a sampled PMBus-style monitor
+(:mod:`repro.power.pmbus`), and the energy decomposition
+(:mod:`repro.power.energy`).
+"""
+
+from repro.power.rails import Rail, RailPowers
+from repro.power.model import PowerModel, ExecutionPhase, PowerTimeline
+from repro.power.energy import RailEnergy, EnergyReport, compute_energy
+from repro.power.pmbus import PmBusMonitor, PowerTrace
+
+__all__ = [
+    "Rail",
+    "RailPowers",
+    "PowerModel",
+    "ExecutionPhase",
+    "PowerTimeline",
+    "RailEnergy",
+    "EnergyReport",
+    "compute_energy",
+    "PmBusMonitor",
+    "PowerTrace",
+]

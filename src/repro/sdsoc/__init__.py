@@ -1,0 +1,44 @@
+"""The SDSoC co-design flow (paper section III).
+
+SDSoC's job: profile the application, mark hot functions for hardware,
+infer data movers, generate stubs, and build the composite system.  This
+package models that flow end to end:
+
+* :mod:`repro.sdsoc.profiler` — software profiling over the CPU cost
+  model; ranks functions and identifies the hotspot ("the tone-mapping
+  algorithm has been profiled and the Gaussian blur function identified
+  as the most computationally-intensive").
+* :mod:`repro.sdsoc.datamover` — data-mover inference from argument
+  size/pattern (the "data motion network" knob).
+* :mod:`repro.sdsoc.stubs` — the software stub that replaces an
+  accelerated function: driver setup, cache maintenance, synchronization.
+* :mod:`repro.sdsoc.project` — an SDSoC project: sources, marked
+  functions, build into a system image model.
+* :mod:`repro.sdsoc.flow` — the paper's five-step optimization ladder,
+  producing one :class:`~repro.sdsoc.flow.ImplementationResult` per
+  Table II row.
+"""
+
+from repro.sdsoc.profiler import FunctionProfile, ProfileReport, profile_application
+from repro.sdsoc.datamover import choose_data_mover
+from repro.sdsoc.stubs import StubCosts, stub_overhead_cycles
+from repro.sdsoc.project import SdsocProject, BuildArtifacts
+from repro.sdsoc.flow import (
+    ImplementationResult,
+    OptimizationFlow,
+    StageTime,
+)
+
+__all__ = [
+    "FunctionProfile",
+    "ProfileReport",
+    "profile_application",
+    "choose_data_mover",
+    "StubCosts",
+    "stub_overhead_cycles",
+    "SdsocProject",
+    "BuildArtifacts",
+    "ImplementationResult",
+    "OptimizationFlow",
+    "StageTime",
+]

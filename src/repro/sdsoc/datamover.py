@@ -1,0 +1,62 @@
+"""Data-mover inference (the SDSoC "data motion network" knob).
+
+"Compiler directives ... essentially controlling the following knobs:
+Data motion network, to specify both the most suitable data mover between
+software routine and hardware function and the kind of access pattern
+employed (i.e. random or sequential)" (paper section III-B).
+
+The rules model SDSoC's defaults: small arguments ride AXI-Lite; random-
+access arrays get a zero-copy AXI master (the accelerator fetches what it
+wants — slowly); sequential arrays get DMA, scatter-gather when the
+buffer exceeds the simple DMA's contiguous limit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataMoverError
+from repro.hls.ir import AccessPattern, KernelArg
+from repro.platform.axi import (
+    AXI_DMA_SIMPLE_MAX_BYTES,
+    AxiPort,
+    DataMover,
+    DataMoverKind,
+)
+
+#: Below this many bytes a transfer is cheaper as AXI-Lite register writes.
+AXI_LITE_THRESHOLD_BYTES = 256
+
+
+def choose_data_mover(arg: KernelArg, cacheable: bool = True) -> DataMover:
+    """Pick the SDSoC data mover for one hardware-function argument.
+
+    ``cacheable=False`` models ``sds_alloc_non_cacheable`` buffers, which
+    skip cache maintenance by using the ACP port.
+    """
+    if arg.bytes <= AXI_LITE_THRESHOLD_BYTES:
+        return DataMover(DataMoverKind.AXI_LITE, AxiPort.GP)
+
+    if arg.pattern is AccessPattern.RANDOM:
+        # No streaming possible: the accelerator masters the bus itself.
+        port = AxiPort.ACP if not cacheable else AxiPort.HP
+        return DataMover(DataMoverKind.ZERO_COPY, port)
+
+    port = AxiPort.ACP if not cacheable else AxiPort.HP
+    if arg.bytes > AXI_DMA_SIMPLE_MAX_BYTES:
+        return DataMover(DataMoverKind.AXI_DMA_SG, port)
+    return DataMover(DataMoverKind.AXI_DMA_SIMPLE, port)
+
+
+def validate_mover(arg: KernelArg, mover: DataMover) -> None:
+    """Reject physically impossible argument/mover pairings."""
+    if (
+        mover.kind is DataMoverKind.AXI_DMA_SIMPLE
+        and arg.bytes > AXI_DMA_SIMPLE_MAX_BYTES
+    ):
+        raise DataMoverError(
+            f"argument {arg.name!r} ({arg.bytes} bytes) exceeds the simple "
+            f"DMA limit of {AXI_DMA_SIMPLE_MAX_BYTES} bytes"
+        )
+    if mover.kind is DataMoverKind.AXI_LITE and arg.bytes > 64 * 1024:
+        raise DataMoverError(
+            f"argument {arg.name!r} is far too large for AXI-Lite"
+        )

@@ -1,0 +1,124 @@
+"""Software profiling over the CPU cost model.
+
+The first step of the SDSoC design flow (paper Fig. 2): "Given a specific
+application running on ARM, the code is profiled to determine the most
+computationally-intensive functions.  Once identified, these functions
+are selected for hardware acceleration."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import FlowError
+from repro.platform.cpu import ArmCortexA9Model, SwKernelTrace
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """One profiled function.
+
+    ``is_library`` marks rows attributed to library routines (libm
+    ``pow``/``exp2``).  A flat profiler books time spent inside libm to
+    libm itself, not to the caller — which is why the paper's hotspot is
+    the Gaussian blur and not the ``pow``-heavy masking stage, and why
+    the blur (not libm) is what gets marked for hardware.
+    """
+
+    name: str
+    seconds: float
+    cycles: float
+    fraction: float
+    is_library: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.cycles < 0:
+            raise FlowError(f"profile for {self.name!r} has negative time")
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Per-function times plus the total, sorted hottest first."""
+
+    functions: List[FunctionProfile]
+    total_seconds: float
+
+    @property
+    def hotspot(self) -> FunctionProfile:
+        """The hottest *application* function (acceleration candidate).
+
+        Library rows are skipped: SDSoC cannot mark libm internals for
+        hardware, only user functions.
+        """
+        for fn in self.functions:
+            if not fn.is_library:
+                return fn
+        raise FlowError("profile has no application functions")
+
+    def function(self, name: str) -> FunctionProfile:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise FlowError(f"no profiled function named {name!r}")
+
+    def render(self) -> str:
+        """gprof-style flat profile text."""
+        lines = ["  %time    seconds  function"]
+        for fn in self.functions:
+            tag = "  [libm]" if fn.is_library else ""
+            lines.append(
+                f"  {fn.fraction * 100:5.1f}  {fn.seconds:9.3f}  {fn.name}{tag}"
+            )
+        lines.append(f"  total  {self.total_seconds:9.3f}")
+        return "\n".join(lines)
+
+
+def profile_application(
+    traces: Dict[str, SwKernelTrace], cpu: ArmCortexA9Model
+) -> ProfileReport:
+    """Profile an application described by per-function traces.
+
+    Cycles spent inside libm transcendental calls are split out of each
+    function's self time and pooled into a single ``libm (pow/exp2)``
+    row, matching how a flat profiler attributes library time.
+    """
+    if not traces:
+        raise FlowError("no functions to profile")
+    self_cycles: Dict[str, float] = {}
+    library_cycles = 0.0
+    for name, trace in traces.items():
+        total = cpu.cycles(trace)
+        libm = (
+            trace.pow_calls * cpu.costs.pow_call
+            + trace.exp2_calls * cpu.costs.exp2_call
+        )
+        self_cycles[name] = total - libm
+        library_cycles += libm
+
+    total_cycles = sum(self_cycles.values()) + library_cycles
+    if total_cycles <= 0:
+        raise FlowError("application has zero total cost")
+    total_seconds = cpu.seconds_for_cycles(total_cycles)
+
+    functions = [
+        FunctionProfile(
+            name=name,
+            cycles=c,
+            seconds=cpu.seconds_for_cycles(c),
+            fraction=c / total_cycles,
+        )
+        for name, c in self_cycles.items()
+    ]
+    if library_cycles > 0:
+        functions.append(
+            FunctionProfile(
+                name="libm (pow/exp2)",
+                cycles=library_cycles,
+                seconds=cpu.seconds_for_cycles(library_cycles),
+                fraction=library_cycles / total_cycles,
+                is_library=True,
+            )
+        )
+    functions.sort(key=lambda fn: fn.cycles, reverse=True)
+    return ProfileReport(functions=functions, total_seconds=total_seconds)

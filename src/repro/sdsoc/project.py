@@ -1,0 +1,131 @@
+"""An SDSoC project: sources, marked functions, and the build step.
+
+Models the IDE-level workflow of paper Fig. 2: an application described
+by software traces, zero or more functions marked for hardware (each with
+a kernel, pragmas and data movers), a platform, and a clock choice.
+``build()`` performs what pressing Build does: synthesize every marked
+function, check device fit, infer any unassigned data movers, and return
+the artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FlowError
+from repro.hls.ir import Kernel
+from repro.hls.pragmas import Pragma
+from repro.hls.scheduler import ExternalAccessModel
+from repro.hls.synthesis import HlsDesign, synthesize
+from repro.platform.axi import DataMover
+from repro.platform.cpu import SwKernelTrace
+from repro.platform.soc import ZynqSoC
+from repro.sdsoc.datamover import choose_data_mover, validate_mover
+from repro.sdsoc.profiler import ProfileReport, profile_application
+
+
+@dataclass
+class MarkedFunction:
+    """A function selected for hardware acceleration."""
+
+    name: str
+    kernel: Kernel
+    pragmas: List[Pragma] = field(default_factory=list)
+    data_movers: Dict[str, DataMover] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BuildArtifacts:
+    """Everything a build produces."""
+
+    designs: Dict[str, HlsDesign]
+    movers: Dict[str, Dict[str, DataMover]]
+    profile: ProfileReport
+
+    def design(self, name: str) -> HlsDesign:
+        if name not in self.designs:
+            raise FlowError(f"no built design named {name!r}")
+        return self.designs[name]
+
+
+class SdsocProject:
+    """A buildable hardware/software co-design project."""
+
+    def __init__(
+        self,
+        name: str,
+        soc: ZynqSoC,
+        sw_traces: Dict[str, SwKernelTrace],
+        external: ExternalAccessModel = ExternalAccessModel(),
+    ):
+        if not sw_traces:
+            raise FlowError("a project needs at least one software function")
+        self.name = name
+        self.soc = soc
+        self.sw_traces = dict(sw_traces)
+        self.external = external
+        self._marked: Dict[str, MarkedFunction] = {}
+
+    # ------------------------------------------------------------------
+    # Project editing
+    # ------------------------------------------------------------------
+    def mark_for_hardware(
+        self,
+        function_name: str,
+        kernel: Kernel,
+        pragmas: Sequence[Pragma] = (),
+        data_movers: Optional[Dict[str, DataMover]] = None,
+    ) -> None:
+        """Select *function_name* for hardware acceleration."""
+        if function_name not in self.sw_traces:
+            raise FlowError(
+                f"cannot mark unknown function {function_name!r}; "
+                f"known: {sorted(self.sw_traces)}"
+            )
+        self._marked[function_name] = MarkedFunction(
+            name=function_name,
+            kernel=kernel,
+            pragmas=list(pragmas),
+            data_movers=dict(data_movers or {}),
+        )
+
+    def unmark(self, function_name: str) -> None:
+        self._marked.pop(function_name, None)
+
+    @property
+    def marked_functions(self) -> List[str]:
+        return sorted(self._marked)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def profile(self) -> ProfileReport:
+        """Software-only profile of the full application (flow step 1)."""
+        return profile_application(self.sw_traces, self.soc.cpu)
+
+    def build(self, check_fit: bool = True) -> BuildArtifacts:
+        """Synthesize all marked functions and assemble the artifacts."""
+        designs: Dict[str, HlsDesign] = {}
+        movers: Dict[str, Dict[str, DataMover]] = {}
+        for name, marked in self._marked.items():
+            design = synthesize(
+                marked.kernel,
+                clock_mhz=self.soc.pl_clock.freq_mhz,
+                pragmas=marked.pragmas,
+                external=self.external,
+                device_limits=self.soc.device.limits if check_fit else None,
+            )
+            designs[name] = design
+
+            assigned: Dict[str, DataMover] = {}
+            for arg in marked.kernel.args:
+                mover = marked.data_movers.get(arg.name)
+                if mover is None:
+                    mover = choose_data_mover(arg)
+                validate_mover(arg, mover)
+                assigned[arg.name] = mover
+            movers[name] = assigned
+        return BuildArtifacts(
+            designs=designs, movers=movers, profile=self.profile()
+        )

@@ -1,0 +1,87 @@
+"""Software stubs for accelerated functions.
+
+"For the software part ... the accelerated functions are replaced by
+software stubs" (paper section III-A).  A stub's runtime cost is pure
+overhead on the PS: programming the data movers, cache maintenance for
+non-coherent buffers, starting the accelerator, and blocking on its
+completion interrupt.  These costs are why offloading tiny workloads
+never pays, and they contribute the small per-implementation deltas in
+Table II's totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import FlowError
+from repro.hls.ir import KernelArg
+from repro.platform.axi import DataMover, TransferCost, transfer_cost
+from repro.platform.clock import ClockDomain
+from repro.platform.memory import DdrModel
+
+
+@dataclass(frozen=True)
+class StubCosts:
+    """Fixed PS-side cycle costs of one accelerator invocation."""
+
+    #: Start the accelerator (register writes through AXI-Lite).
+    start_cycles: int = 400
+    #: Blocking wait + interrupt service + driver return.
+    sync_cycles: int = 2500
+    #: Per-argument bookkeeping in the generated stub.
+    per_arg_cycles: int = 150
+
+    def __post_init__(self) -> None:
+        if min(self.start_cycles, self.sync_cycles, self.per_arg_cycles) < 0:
+            raise FlowError("stub costs must be non-negative")
+
+    def invocation_cycles(self, num_args: int) -> int:
+        if num_args < 0:
+            raise FlowError("num_args must be >= 0")
+        return self.start_cycles + self.sync_cycles + num_args * self.per_arg_cycles
+
+
+def stub_overhead_cycles(num_args: int, costs: StubCosts = StubCosts()) -> int:
+    """PS cycles of stub overhead for one call (excluding transfers)."""
+    return costs.invocation_cycles(num_args)
+
+
+@dataclass(frozen=True)
+class InvocationCost:
+    """Full cost of calling an accelerator once.
+
+    ``ps_seconds`` is CPU-side (stub + driver + cache maintenance);
+    ``transfer_seconds`` is bus streaming time; the accelerator's own
+    compute latency is accounted by the HLS design, not here.
+    """
+
+    ps_seconds: float
+    transfer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ps_seconds + self.transfer_seconds
+
+
+def invocation_cost(
+    args: Sequence[KernelArg],
+    movers: Mapping[str, DataMover],
+    ddr: DdrModel,
+    pl_clock: ClockDomain,
+    cpu_freq_mhz: float,
+    costs: StubCosts = StubCosts(),
+) -> InvocationCost:
+    """Price one accelerator call: stub + all argument transfers."""
+    ps_cycles = float(costs.invocation_cycles(len(args)))
+    bus_seconds = 0.0
+    for arg in args:
+        if arg.name not in movers:
+            raise FlowError(f"no data mover assigned for argument {arg.name!r}")
+        cost: TransferCost = transfer_cost(arg.bytes, movers[arg.name], ddr, pl_clock)
+        ps_cycles += cost.cpu_cycles
+        bus_seconds += cost.bus_seconds
+    return InvocationCost(
+        ps_seconds=ps_cycles / (cpu_freq_mhz * 1e6),
+        transfer_seconds=bus_seconds,
+    )

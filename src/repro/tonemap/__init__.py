@@ -1,0 +1,57 @@
+"""The paper's tone-mapping algorithm (Fig. 1) and baselines.
+
+Pipeline stages, in paper order:
+
+1. :func:`~repro.tonemap.pipeline.ToneMapper` step 1 — image
+   normalization (``HDRImage.normalized``).
+2. :mod:`repro.tonemap.gaussian` — separable Gaussian blur of the mask
+   plane (the computational hotspot the paper accelerates).
+3. :mod:`repro.tonemap.masking` — Moroney non-linear masking
+   (gamma correction driven by the blurred mask).
+4. :mod:`repro.tonemap.adjust` — brightness and contrast adjustment.
+
+:mod:`repro.tonemap.operators` provides *global* tone-mapping baselines
+(gamma, logarithmic, Reinhard) for the paper's global-vs-local taxonomy,
+and :mod:`repro.tonemap.fixed_blur` is the bit-accurate fixed-point blur
+matching the paper's 16-bit ``ap_fixed`` accelerator.
+"""
+
+from repro.tonemap.gaussian import (
+    GaussianKernel,
+    separable_blur,
+    blur_2d_direct,
+    blur_plane,
+)
+from repro.tonemap.masking import MaskingParams, nonlinear_masking, masking_exponent
+from repro.tonemap.adjust import AdjustParams, adjust_brightness_contrast, auto_contrast
+from repro.tonemap.pipeline import ToneMapParams, ToneMapResult, ToneMapper, tone_map
+from repro.tonemap.operators import (
+    gamma_operator,
+    log_operator,
+    reinhard_global,
+    GLOBAL_OPERATORS,
+)
+from repro.tonemap.fixed_blur import FixedBlurConfig, fixed_point_blur_plane
+
+__all__ = [
+    "GaussianKernel",
+    "separable_blur",
+    "blur_2d_direct",
+    "blur_plane",
+    "MaskingParams",
+    "nonlinear_masking",
+    "masking_exponent",
+    "AdjustParams",
+    "adjust_brightness_contrast",
+    "auto_contrast",
+    "ToneMapParams",
+    "ToneMapResult",
+    "ToneMapper",
+    "tone_map",
+    "gamma_operator",
+    "log_operator",
+    "reinhard_global",
+    "GLOBAL_OPERATORS",
+    "FixedBlurConfig",
+    "fixed_point_blur_plane",
+]

@@ -1,0 +1,159 @@
+"""Bit-accurate fixed-point Gaussian blur (the FxP accelerator's math).
+
+Paper section III-C converts the blur from 32-bit floating point to the
+Vivado HLS ``ap_fixed`` type with a 16-bit total width (16 being one of
+the bus-aligned widths SDSoC accepts for accelerator arguments).  This
+module reproduces that arithmetic exactly:
+
+* pixels are quantized to a 16-bit fixed-point format on the way into the
+  accelerator;
+* filter coefficients are quantized to 16 bits (optionally re-normalized
+  so their sum is exactly one, preserving DC gain as a careful hardware
+  designer would);
+* each separable pass accumulates exact products in a widened accumulator
+  and re-quantizes the result to the 16-bit pixel format — including
+  between the horizontal and vertical passes, because the hardware line
+  buffer stores 16-bit pixels.
+
+The output therefore differs from the float reference by exactly the
+error the hardware would exhibit, which is what the paper's PSNR/SSIM
+comparison (66 dB / 1.0) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+import numpy as np
+
+from repro.errors import ToneMapError
+from repro.fixedpoint.array import FixedArray
+from repro.fixedpoint.format import FixedFormat, Overflow, Quant, check_bus_alignment
+from repro.tonemap.gaussian import GaussianKernel
+
+
+def _default_data_fmt() -> FixedFormat:
+    # ap_fixed<16, 2, RND, SAT>: sign + 1 integer bit so unit-range pixels
+    # (including exactly 1.0) are representable, 14 fraction bits.
+    return FixedFormat(16, 2, signed=True, quant=Quant.RND, overflow=Overflow.SAT)
+
+
+def _default_coeff_fmt() -> FixedFormat:
+    # ap_ufixed<16, 0, RND, SAT>: coefficients are positive and < 1.
+    return FixedFormat(16, 0, signed=False, quant=Quant.RND, overflow=Overflow.SAT)
+
+
+@dataclass(frozen=True)
+class FixedBlurConfig:
+    """Formats used by the fixed-point blur.
+
+    Parameters
+    ----------
+    data_fmt:
+        Pixel format at the accelerator boundary and in the line buffer.
+        Must be bus-aligned (8/16/32/64 bits); the paper uses 16.
+    coeff_fmt:
+        Coefficient ROM format.
+    renormalize_coefficients:
+        Adjust the centre tap after quantization so the coefficient sum is
+        exactly 1.0 in fixed point (unity DC gain).
+    """
+
+    data_fmt: FixedFormat = field(default_factory=_default_data_fmt)
+    coeff_fmt: FixedFormat = field(default_factory=_default_coeff_fmt)
+    renormalize_coefficients: bool = True
+
+    def __post_init__(self) -> None:
+        check_bus_alignment(self.data_fmt)
+
+    def accumulator_fmt(self, taps: int) -> FixedFormat:
+        """Widened accumulator format for a *taps*-tap MAC chain.
+
+        Full-precision product plus ``ceil(log2(taps)) + 1`` guard bits,
+        the standard sizing for a convolution accumulator.
+        """
+        product = self.data_fmt.mul_result(self.coeff_fmt)
+        guard = max(1, math.ceil(math.log2(max(taps, 2)))) + 1
+        return FixedFormat(
+            word_length=product.word_length + guard,
+            int_length=product.int_length + guard,
+            signed=product.signed,
+            quant=self.data_fmt.quant,
+            overflow=self.data_fmt.overflow,
+        )
+
+    def quantized_coefficients(self, kernel: GaussianKernel) -> np.ndarray:
+        """Coefficient raw values (int64) in ``coeff_fmt``.
+
+        With ``renormalize_coefficients`` the centre tap absorbs the
+        rounding residue so the raw sum equals ``2**F`` exactly (gain 1).
+        """
+        coeffs = kernel.coefficients
+        fixed = FixedArray.from_float(coeffs, self.coeff_fmt)
+        raws = fixed.raw.copy()
+        if self.renormalize_coefficients:
+            target = 1 << self.coeff_fmt.frac_length
+            residue = target - int(raws.sum())
+            centre = kernel.radius
+            adjusted = int(raws[centre]) + residue
+            if not (self.coeff_fmt.raw_min <= adjusted <= self.coeff_fmt.raw_max):
+                raise ToneMapError(
+                    "coefficient renormalization overflows the centre tap; "
+                    "use a wider coeff_fmt or disable renormalization"
+                )
+            raws[centre] = adjusted
+        return raws
+
+
+def _fixed_pass_rows(
+    raw: np.ndarray, coeff_raws: np.ndarray, config: FixedBlurConfig
+) -> np.ndarray:
+    """One horizontal fixed-point pass over raw pixel values.
+
+    Accumulates exact integer products then re-quantizes each output pixel
+    back to ``data_fmt`` (what the hardware writes to its line buffer).
+    """
+    taps = coeff_raws.size
+    radius = (taps - 1) // 2
+    padded = np.pad(raw, ((0, 0), (radius, radius)), mode="edge")
+    width = raw.shape[1]
+    acc = np.zeros_like(raw, dtype=np.int64)
+    for k in range(taps):
+        acc += np.int64(coeff_raws[k]) * padded[:, k : k + width]
+    acc_fmt = config.accumulator_fmt(taps)
+    return FixedArray(acc, acc_fmt).cast(config.data_fmt).raw
+
+
+def fixed_point_blur_plane(
+    plane: np.ndarray,
+    kernel: GaussianKernel,
+    config: FixedBlurConfig = FixedBlurConfig(),
+) -> np.ndarray:
+    """Separable Gaussian blur in bit-accurate fixed point.
+
+    Returns float64 values (the exact reals the output bits represent), so
+    it is drop-in compatible with
+    :data:`~repro.tonemap.pipeline.ToneMapParams.blur_fn`.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ToneMapError(
+            f"fixed_point_blur_plane expects a 2-D plane, got {plane.shape}"
+        )
+    coeff_raws = config.quantized_coefficients(kernel)
+    data = FixedArray.from_float(plane, config.data_fmt)
+    horizontal = _fixed_pass_rows(data.raw, coeff_raws, config)
+    vertical = _fixed_pass_rows(
+        np.ascontiguousarray(horizontal.T), coeff_raws, config
+    ).T
+    return FixedArray(np.ascontiguousarray(vertical), config.data_fmt).to_float()
+
+
+def make_fixed_blur_fn(config: FixedBlurConfig = FixedBlurConfig()):
+    """A ``BlurFn`` closure over *config* for ``ToneMapParams.blur_fn``."""
+
+    def blur_fn(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
+        return fixed_point_blur_plane(plane, kernel, config)
+
+    return blur_fn

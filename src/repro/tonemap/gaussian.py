@@ -1,0 +1,126 @@
+"""Gaussian kernels and the floating-point reference blur.
+
+The Gaussian blur is "a bi-dimensional image filter in which each pixel is
+updated summing up to it a certain number of adjacent pixels, horizontal or
+vertical, weighted by a certain coefficient.  The number of adjacent pixels
+and the weights ... are determined by width and magnitude of a Gaussian
+distribution" (paper section II-A).  The filter is separable: a horizontal
+pass followed by a vertical pass, which is exactly how both the software
+reference and the hardware accelerator implement it.
+
+Borders use edge replication (clamp addressing), the natural policy for a
+streaming line-buffer hardware implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ToneMapError
+
+
+@dataclass(frozen=True)
+class GaussianKernel:
+    """A 1-D normalized Gaussian filter kernel.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the Gaussian, in pixels.  The paper's local
+        operator uses a wide kernel so the mask captures neighbourhood
+        brightness rather than pixel detail.
+    radius:
+        Taps on each side of the centre; ``taps = 2 * radius + 1``.
+        Defaults to ``ceil(3 * sigma)``, covering 99.7 % of the Gaussian's
+        mass.
+    """
+
+    sigma: float
+    radius: int = -1  # sentinel: computed in __post_init__
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ToneMapError(f"sigma must be positive, got {self.sigma}")
+        radius = self.radius
+        if radius == -1:
+            radius = max(1, math.ceil(3.0 * self.sigma))
+            object.__setattr__(self, "radius", radius)
+        if radius < 1:
+            raise ToneMapError(f"radius must be >= 1, got {radius}")
+
+    @property
+    def taps(self) -> int:
+        """Total number of filter taps, ``2 * radius + 1``."""
+        return 2 * self.radius + 1
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Normalized float64 coefficients (sum exactly re-normalized to 1)."""
+        offsets = np.arange(-self.radius, self.radius + 1, dtype=np.float64)
+        weights = np.exp(-(offsets**2) / (2.0 * self.sigma**2))
+        return weights / weights.sum()
+
+    def __str__(self) -> str:
+        return f"Gaussian(sigma={self.sigma}, taps={self.taps})"
+
+
+def _pad_rows(plane: np.ndarray, radius: int) -> np.ndarray:
+    """Edge-replicate padding along axis 1."""
+    return np.pad(plane, ((0, 0), (radius, radius)), mode="edge")
+
+
+def _convolve_rows(plane: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Correlate every row with the (symmetric) kernel, same-size output."""
+    radius = (coefficients.size - 1) // 2
+    padded = _pad_rows(plane, radius)
+    out = np.zeros_like(plane, dtype=np.float64)
+    width = plane.shape[1]
+    for k, coeff in enumerate(coefficients):
+        out += coeff * padded[:, k : k + width]
+    return out
+
+
+def separable_blur(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
+    """Blur a 2-D plane with a separable Gaussian (float64 reference).
+
+    Horizontal pass then vertical pass, matching the two hardware passes of
+    the accelerator.  Output has the same shape as the input.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ToneMapError(f"separable_blur expects a 2-D plane, got {plane.shape}")
+    coeffs = kernel.coefficients
+    horizontal = _convolve_rows(plane, coeffs)
+    vertical = _convolve_rows(np.ascontiguousarray(horizontal.T), coeffs).T
+    return np.ascontiguousarray(vertical)
+
+
+def blur_plane(plane: np.ndarray, sigma: float, radius: int | None = None) -> np.ndarray:
+    """Convenience wrapper: build a kernel and run :func:`separable_blur`."""
+    kernel = GaussianKernel(sigma=sigma, radius=-1 if radius is None else radius)
+    return separable_blur(plane, kernel)
+
+
+def blur_2d_direct(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
+    """Direct (non-separable) 2-D convolution; O(K^2) per pixel.
+
+    Exists to validate the separable implementation: a separable Gaussian's
+    outer product equals the 2-D kernel, so results must agree to float
+    tolerance.  Only suitable for small planes/kernels (used in tests).
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ToneMapError(f"blur_2d_direct expects a 2-D plane, got {plane.shape}")
+    coeffs = kernel.coefficients
+    kernel_2d = np.outer(coeffs, coeffs)
+    radius = kernel.radius
+    padded = np.pad(plane, radius, mode="edge")
+    height, width = plane.shape
+    out = np.zeros_like(plane, dtype=np.float64)
+    for dy in range(kernel.taps):
+        for dx in range(kernel.taps):
+            out += kernel_2d[dy, dx] * padded[dy : dy + height, dx : dx + width]
+    return out

@@ -1,0 +1,72 @@
+"""Global tone-mapping baselines.
+
+Paper section II classifies tone mappers into *global* (one transformation
+for all pixels) and *local* (each pixel's transformation depends on its
+neighbourhood) operators, and implements a local one.  These global
+operators serve as the comparison class: they are cheap (no blur, hence
+nothing worth accelerating) but cannot simultaneously hold shadow and
+highlight detail, which is the motivation for the local algorithm.
+
+All operators take an :class:`~repro.image.hdr.HDRImage` and return a
+unit-range :class:`~repro.image.hdr.HDRImage`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ToneMapError
+from repro.image.hdr import HDRImage
+
+
+def gamma_operator(image: HDRImage, gamma: float = 2.2) -> HDRImage:
+    """Normalize then apply a single global gamma curve."""
+    if gamma <= 0:
+        raise ToneMapError(f"gamma must be positive, got {gamma}")
+    normalized = image.normalized()
+    out = np.power(np.asarray(normalized.pixels, dtype=np.float64), 1.0 / gamma)
+    return HDRImage(np.clip(out, 0.0, 1.0), name=f"{image.name}:gamma")
+
+
+def log_operator(image: HDRImage, scale: float = 1.0) -> HDRImage:
+    """Logarithmic compression: ``log(1 + s*I) / log(1 + s*Imax)``."""
+    if scale <= 0:
+        raise ToneMapError(f"scale must be positive, got {scale}")
+    pixels = np.asarray(image.pixels, dtype=np.float64)
+    peak = pixels.max()
+    if peak == 0:
+        return HDRImage(pixels, name=f"{image.name}:log")
+    out = np.log1p(scale * pixels) / np.log1p(scale * peak)
+    return HDRImage(np.clip(out, 0.0, 1.0), name=f"{image.name}:log")
+
+
+def reinhard_global(image: HDRImage, key: float = 0.18) -> HDRImage:
+    """Reinhard's global photographic operator: ``L/(1+L)`` on scaled luminance.
+
+    The image is exposure-scaled so its log-average luminance maps to
+    *key*, then compressed with the classic rational curve.  Color is
+    scaled by the luminance ratio.
+    """
+    if key <= 0:
+        raise ToneMapError(f"key must be positive, got {key}")
+    pixels = np.asarray(image.pixels, dtype=np.float64)
+    lum = image.luminance()
+    positive = lum[lum > 0]
+    if positive.size == 0:
+        return HDRImage(np.zeros_like(pixels), name=f"{image.name}:reinhard")
+    log_avg = float(np.exp(np.mean(np.log(positive))))
+    scaled = (key / log_avg) * lum
+    compressed = scaled / (1.0 + scaled)
+    ratio = np.where(lum > 0, compressed / np.where(lum > 0, lum, 1.0), 0.0)
+    if pixels.ndim == 3:
+        ratio = ratio[:, :, np.newaxis]
+    out = np.clip(pixels * ratio, 0.0, 1.0)
+    return HDRImage(out, name=f"{image.name}:reinhard")
+
+
+#: Registry of global operators by name (used by examples and the CLI).
+GLOBAL_OPERATORS = {
+    "gamma": gamma_operator,
+    "log": log_operator,
+    "reinhard": reinhard_global,
+}

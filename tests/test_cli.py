@@ -1,0 +1,94 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for cmd in ("table2", "fig6", "fig7", "fig8", "profile", "all"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_fig5_output_dir(self, tmp_path):
+        args = build_parser().parse_args(["fig5", "-o", str(tmp_path)])
+        assert args.output_dir == tmp_path
+
+    def test_report_requires_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_rejects_sw(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "sw"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "FlP to FxP" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "FIG 6" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG 7" in out and "reduction" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG 8a" in out and "FIG 8b" in out
+
+    def test_fig5_small(self, capsys, tmp_path):
+        assert main(["--size", "64", "fig5", "-o", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+        assert (tmp_path / "fig5c_fixed.ppm").exists()
+
+    def test_profile(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "%time" in out
+        assert "gaussian_blur" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "fxp"]) == 0
+        out = capsys.readouterr().out
+        assert "HLS Report" in out
+        assert "pixels" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "ABLATION" in out
+        assert "word packing" in out
+        assert "partition factor" in out
+
+    def test_extensions(self, capsys):
+        assert main(["extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap" in out
+        assert "frames/s" in out
+
+    def test_robustness(self, capsys):
+        assert main(["--size", "64", "robustness"]) == 0
+        out = capsys.readouterr().out
+        assert "ROBUSTNESS" in out
+        assert "starfield" in out
+
+    def test_all_small(self, capsys):
+        assert main(["--size", "64", "all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("TABLE II", "FIG 5", "FIG 6", "FIG 7", "FIG 8a"):
+            assert marker in out

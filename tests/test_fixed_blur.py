@@ -1,0 +1,130 @@
+"""Tests for repro.tonemap.fixed_blur (bit-accurate FxP accelerator math)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BusAlignmentError, ToneMapError
+from repro.fixedpoint import FixedFormat, Overflow, Quant
+from repro.tonemap import FixedBlurConfig, GaussianKernel, fixed_point_blur_plane
+from repro.tonemap.fixed_blur import make_fixed_blur_fn
+from repro.tonemap.gaussian import separable_blur
+
+KERNEL = GaussianKernel(sigma=2.0, radius=6)
+
+
+def random_plane(shape=(32, 32), seed=21):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, shape)
+
+
+class TestConfig:
+    def test_default_is_16bit(self):
+        cfg = FixedBlurConfig()
+        assert cfg.data_fmt.word_length == 16
+        assert cfg.coeff_fmt.word_length == 16
+
+    def test_bus_alignment_enforced(self):
+        with pytest.raises(BusAlignmentError):
+            FixedBlurConfig(data_fmt=FixedFormat(12, 2))
+
+    def test_accumulator_width_covers_products_and_guard(self):
+        cfg = FixedBlurConfig()
+        acc = cfg.accumulator_fmt(taps=13)
+        product = cfg.data_fmt.mul_result(cfg.coeff_fmt)
+        assert acc.word_length > product.word_length
+        assert acc.frac_length == product.frac_length
+
+    def test_renormalized_coefficients_sum_to_unity(self):
+        cfg = FixedBlurConfig()
+        raws = cfg.quantized_coefficients(KERNEL)
+        assert raws.sum() == 1 << cfg.coeff_fmt.frac_length
+
+    def test_unnormalized_coefficients_close_to_unity(self):
+        cfg = FixedBlurConfig(renormalize_coefficients=False)
+        raws = cfg.quantized_coefficients(KERNEL)
+        target = 1 << cfg.coeff_fmt.frac_length
+        assert abs(int(raws.sum()) - target) <= KERNEL.taps  # within 1 LSB/tap
+
+
+class TestFixedBlur:
+    def test_close_to_float_reference(self):
+        plane = random_plane()
+        fixed = fixed_point_blur_plane(plane, KERNEL)
+        ref = separable_blur(plane, KERNEL)
+        # 14 fraction bits, two passes: error well under 2^-10.
+        assert np.max(np.abs(fixed - ref)) < 2.0**-10
+
+    def test_error_shrinks_with_width(self):
+        plane = random_plane()
+        ref = separable_blur(plane, KERNEL)
+        errors = []
+        # Coefficients stay 16-bit: a 32x32-bit product would not fit the
+        # int64 backing store (and no designer would size a ROM that wide).
+        coeff_fmt = FixedFormat(16, 0, signed=False, quant=Quant.RND,
+                                overflow=Overflow.SAT)
+        for width in (8, 16, 32):
+            cfg = FixedBlurConfig(
+                data_fmt=FixedFormat(width, 2, quant=Quant.RND,
+                                     overflow=Overflow.SAT),
+                coeff_fmt=coeff_fmt,
+            )
+            fixed = fixed_point_blur_plane(plane, KERNEL, cfg)
+            errors.append(float(np.max(np.abs(fixed - ref))))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_output_values_are_representable(self):
+        cfg = FixedBlurConfig()
+        plane = random_plane()
+        out = fixed_point_blur_plane(plane, KERNEL, cfg)
+        scaled = out * 2.0**cfg.data_fmt.frac_length
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_constant_plane_preserved_exactly(self):
+        # Renormalized coefficients give unity DC gain: a representable
+        # constant passes through bit-exactly.
+        plane = np.full((16, 16), 0.5)
+        out = fixed_point_blur_plane(plane, KERNEL)
+        np.testing.assert_array_equal(out, 0.5)
+
+    def test_truncation_biases_down(self):
+        # TRN quantization (the HLS default) systematically under-estimates,
+        # the effect behind the paper's 66 dB (vs. higher with rounding).
+        plane = random_plane()
+        cfg = FixedBlurConfig(
+            data_fmt=FixedFormat(16, 6, quant=Quant.TRN, overflow=Overflow.SAT),
+            coeff_fmt=FixedFormat(16, 0, signed=False, quant=Quant.TRN,
+                                  overflow=Overflow.SAT),
+            renormalize_coefficients=False,
+        )
+        ref = separable_blur(plane, KERNEL)
+        fixed = fixed_point_blur_plane(plane, KERNEL, cfg)
+        err = fixed - ref
+        assert err.mean() < 0.0
+
+    def test_deterministic(self):
+        plane = random_plane()
+        a = fixed_point_blur_plane(plane, KERNEL)
+        b = fixed_point_blur_plane(plane, KERNEL)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_2d(self):
+        with pytest.raises(ToneMapError):
+            fixed_point_blur_plane(np.zeros((4, 4, 3)), KERNEL)
+
+    def test_blur_fn_factory(self):
+        fn = make_fixed_blur_fn()
+        plane = random_plane()
+        np.testing.assert_array_equal(
+            fn(plane, KERNEL), fixed_point_blur_plane(plane, KERNEL)
+        )
+
+    def test_narrow_coeff_renormalization_guard(self):
+        # An 8-bit coefficient format cannot absorb the residue into the
+        # centre tap of a very flat kernel without overflow... but for a
+        # normal kernel it can; verify no crash and unity sum.
+        cfg = FixedBlurConfig(
+            data_fmt=FixedFormat(8, 2, quant=Quant.RND, overflow=Overflow.SAT),
+            coeff_fmt=FixedFormat(8, 0, signed=False, quant=Quant.RND,
+                                  overflow=Overflow.SAT),
+        )
+        raws = cfg.quantized_coefficients(GaussianKernel(sigma=1.0, radius=2))
+        assert raws.sum() == 1 << cfg.coeff_fmt.frac_length

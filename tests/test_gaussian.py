@@ -1,0 +1,144 @@
+"""Tests for repro.tonemap.gaussian (kernels and reference blur)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToneMapError
+from repro.tonemap import GaussianKernel, blur_2d_direct, blur_plane, separable_blur
+
+
+class TestKernel:
+    def test_default_radius_covers_three_sigma(self):
+        k = GaussianKernel(sigma=4.0)
+        assert k.radius == 12
+        assert k.taps == 25
+
+    def test_explicit_radius(self):
+        k = GaussianKernel(sigma=2.0, radius=5)
+        assert k.taps == 11
+
+    def test_coefficients_normalized(self):
+        k = GaussianKernel(sigma=3.0)
+        assert k.coefficients.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_coefficients_symmetric(self):
+        c = GaussianKernel(sigma=2.5).coefficients
+        np.testing.assert_allclose(c, c[::-1])
+
+    def test_coefficients_peak_at_centre(self):
+        k = GaussianKernel(sigma=2.0)
+        c = k.coefficients
+        assert c.argmax() == k.radius
+
+    def test_monotone_decay_from_centre(self):
+        k = GaussianKernel(sigma=3.0)
+        c = k.coefficients
+        right = c[k.radius:]
+        assert np.all(np.diff(right) < 0)
+
+    def test_wider_sigma_flatter_kernel(self):
+        narrow = GaussianKernel(sigma=1.0, radius=6).coefficients
+        wide = GaussianKernel(sigma=4.0, radius=6).coefficients
+        assert narrow.max() > wide.max()
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ToneMapError):
+            GaussianKernel(sigma=0.0)
+        with pytest.raises(ToneMapError):
+            GaussianKernel(sigma=-1.0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ToneMapError):
+            GaussianKernel(sigma=1.0, radius=0)
+
+    def test_str(self):
+        assert "Gaussian" in str(GaussianKernel(sigma=2.0))
+
+
+class TestSeparableBlur:
+    def test_constant_plane_invariant(self):
+        plane = np.full((16, 16), 0.7)
+        out = separable_blur(plane, GaussianKernel(sigma=2.0))
+        np.testing.assert_allclose(out, 0.7, atol=1e-12)
+
+    def test_mean_preserved_on_interior(self):
+        # With edge replication the global mean shifts slightly; an impulse
+        # far from borders must conserve total mass.
+        plane = np.zeros((64, 64))
+        plane[32, 32] = 1.0
+        out = separable_blur(plane, GaussianKernel(sigma=2.0))
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_impulse_spreads_as_outer_product(self):
+        k = GaussianKernel(sigma=1.5, radius=4)
+        plane = np.zeros((32, 32))
+        plane[16, 16] = 1.0
+        out = separable_blur(plane, k)
+        expected = np.outer(k.coefficients, k.coefficients)
+        got = out[12:21, 12:21]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_matches_direct_2d(self):
+        rng = np.random.default_rng(11)
+        plane = rng.uniform(0, 1, (24, 20))
+        k = GaussianKernel(sigma=1.2, radius=3)
+        np.testing.assert_allclose(
+            separable_blur(plane, k), blur_2d_direct(plane, k), atol=1e-10
+        )
+
+    def test_linearity(self):
+        rng = np.random.default_rng(12)
+        a = rng.uniform(0, 1, (16, 16))
+        b = rng.uniform(0, 1, (16, 16))
+        k = GaussianKernel(sigma=2.0, radius=4)
+        lhs = separable_blur(2.0 * a + 3.0 * b, k)
+        rhs = 2.0 * separable_blur(a, k) + 3.0 * separable_blur(b, k)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_output_range_within_input_range(self):
+        rng = np.random.default_rng(13)
+        plane = rng.uniform(0.25, 0.75, (16, 16))
+        out = separable_blur(plane, GaussianKernel(sigma=2.0))
+        assert out.min() >= 0.25 - 1e-12
+        assert out.max() <= 0.75 + 1e-12
+
+    def test_smooths_variance(self):
+        rng = np.random.default_rng(14)
+        plane = rng.uniform(0, 1, (32, 32))
+        out = separable_blur(plane, GaussianKernel(sigma=2.0))
+        assert out.var() < plane.var()
+
+    def test_separability_order_irrelevant(self):
+        # Blur of transpose equals transpose of blur (symmetric kernel).
+        rng = np.random.default_rng(15)
+        plane = rng.uniform(0, 1, (20, 28))
+        k = GaussianKernel(sigma=1.5)
+        np.testing.assert_allclose(
+            separable_blur(plane.T, k), separable_blur(plane, k).T, atol=1e-10
+        )
+
+    def test_requires_2d(self):
+        with pytest.raises(ToneMapError):
+            separable_blur(np.zeros((4, 4, 3)), GaussianKernel(sigma=1.0))
+        with pytest.raises(ToneMapError):
+            blur_2d_direct(np.zeros(16), GaussianKernel(sigma=1.0))
+
+    def test_blur_plane_wrapper(self):
+        plane = np.zeros((16, 16))
+        plane[8, 8] = 1.0
+        a = blur_plane(plane, sigma=2.0)
+        b = separable_blur(plane, GaussianKernel(sigma=2.0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_blur_plane_explicit_radius(self):
+        plane = np.random.default_rng(16).uniform(0, 1, (16, 16))
+        a = blur_plane(plane, sigma=2.0, radius=3)
+        b = separable_blur(plane, GaussianKernel(sigma=2.0, radius=3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_edge_replication_no_darkening(self):
+        # A bright border must not fade: replicate padding keeps corners at
+        # the constant value.
+        plane = np.ones((16, 16))
+        out = separable_blur(plane, GaussianKernel(sigma=3.0))
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,177 @@
+"""Tests for repro.image.pfm and repro.image.ppm (file I/O)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageFormatError
+from repro.image import (
+    HDRImage,
+    read_pfm,
+    read_ppm,
+    to_8bit,
+    write_pfm,
+    write_pgm,
+    write_ppm,
+)
+
+
+def rgb_image(h=6, w=5):
+    rng = np.random.default_rng(42)
+    return HDRImage(rng.uniform(0, 100, (h, w, 3)).astype(np.float32), name="rgb")
+
+
+def gray_image(h=6, w=5):
+    rng = np.random.default_rng(43)
+    return HDRImage(rng.uniform(0, 100, (h, w)).astype(np.float32), name="gray")
+
+
+class TestPfmRoundtrip:
+    def test_rgb_roundtrip_exact(self, tmp_path):
+        img = rgb_image()
+        path = tmp_path / "a.pfm"
+        write_pfm(img, path)
+        back = read_pfm(path)
+        np.testing.assert_array_equal(back.pixels, img.pixels)
+        assert back.is_color
+
+    def test_gray_roundtrip_exact(self, tmp_path):
+        img = gray_image()
+        path = tmp_path / "g.pfm"
+        write_pfm(img, path)
+        back = read_pfm(path)
+        np.testing.assert_array_equal(back.pixels, img.pixels)
+        assert not back.is_color
+
+    def test_orientation_preserved(self, tmp_path):
+        # A gradient that differs top vs bottom catches flipud mistakes.
+        px = np.zeros((4, 3), dtype=np.float32)
+        px[0, :] = 7.0  # top row bright
+        img = HDRImage(px)
+        path = tmp_path / "o.pfm"
+        write_pfm(img, path)
+        back = read_pfm(path)
+        assert back.pixels[0, 0] == 7.0
+        assert back.pixels[3, 0] == 0.0
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "scene_x.pfm"
+        write_pfm(gray_image(), path)
+        assert read_pfm(path).name == "scene_x"
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "f.pfm"
+        write_pfm(gray_image(), path)
+        assert read_pfm(path, name="custom").name == "custom"
+
+    def test_big_endian_scale(self, tmp_path):
+        # Hand-write a big-endian file (positive scale).
+        path = tmp_path / "be.pfm"
+        data = np.arange(6, dtype=">f4").reshape(2, 3)
+        with open(path, "wb") as fh:
+            fh.write(b"Pf\n3 2\n1.0\n")
+            fh.write(np.flipud(data).tobytes())
+        back = read_pfm(path)
+        np.testing.assert_array_equal(back.pixels, data.astype(np.float32))
+
+    def test_scale_magnitude_applied(self, tmp_path):
+        path = tmp_path / "s.pfm"
+        data = np.ones((2, 2), dtype="<f4")
+        with open(path, "wb") as fh:
+            fh.write(b"Pf\n2 2\n-2.5\n")
+            fh.write(data.tobytes())
+        back = read_pfm(path)
+        np.testing.assert_allclose(back.pixels, 2.5)
+
+
+class TestPfmErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pfm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ImageFormatError, match="magic"):
+            read_pfm(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "t.pfm"
+        path.write_bytes(b"Pf\n4 4\n-1.0\n" + b"\x00" * 10)
+        with pytest.raises(ImageFormatError, match="truncated"):
+            read_pfm(path)
+
+    def test_zero_scale(self, tmp_path):
+        path = tmp_path / "z.pfm"
+        path.write_bytes(b"Pf\n1 1\n0.0\n" + b"\x00" * 4)
+        with pytest.raises(ImageFormatError, match="scale"):
+            read_pfm(path)
+
+    def test_bad_dimensions(self, tmp_path):
+        path = tmp_path / "d.pfm"
+        path.write_bytes(b"Pf\n0 4\n-1.0\n")
+        with pytest.raises(ImageFormatError):
+            read_pfm(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "m.pfm"
+        path.write_bytes(b"Pf\nxx yy\n-1.0\n")
+        with pytest.raises(ImageFormatError):
+            read_pfm(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.pfm"
+        path.write_bytes(b"")
+        with pytest.raises(ImageFormatError):
+            read_pfm(path)
+
+
+class TestTo8Bit:
+    def test_unit_range(self):
+        out = to_8bit(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_array_equal(out, [0, 128, 255])
+
+    def test_clipping(self):
+        out = to_8bit(np.array([-0.5, 2.0]))
+        np.testing.assert_array_equal(out, [0, 255])
+
+    def test_rescale_mode(self):
+        out = to_8bit(np.array([0.0, 5.0, 10.0]), assume_unit_range=False)
+        np.testing.assert_array_equal(out, [0, 128, 255])
+
+
+class TestPpmRoundtrip:
+    def test_ppm_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        px = rng.integers(0, 256, (5, 7, 3), dtype=np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(px, path)
+        np.testing.assert_array_equal(read_ppm(path), px)
+
+    def test_pgm_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        px = rng.integers(0, 256, (5, 7), dtype=np.uint8)
+        path = tmp_path / "img.pgm"
+        write_pgm(px, path)
+        np.testing.assert_array_equal(read_ppm(path), px)
+
+    def test_float_input_converted(self, tmp_path):
+        path = tmp_path / "f.ppm"
+        write_ppm(np.ones((2, 2, 3)) * 0.5, path)
+        np.testing.assert_array_equal(read_ppm(path), 128)
+
+    def test_gray_promoted_to_rgb(self, tmp_path):
+        path = tmp_path / "p.ppm"
+        write_ppm(np.ones((2, 2)), path)
+        out = read_ppm(path)
+        assert out.shape == (2, 2, 3)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x01\x02")
+        np.testing.assert_array_equal(read_ppm(path), [[1, 2]])
+
+    def test_bad_maxval(self, tmp_path):
+        path = tmp_path / "m.pgm"
+        path.write_bytes(b"P5\n1 1\n65535\n\x00\x00")
+        with pytest.raises(ImageFormatError, match="maxval"):
+            read_ppm(path)
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        with pytest.raises(ImageFormatError):
+            write_ppm(np.ones((2, 2, 3), dtype=np.int32), tmp_path / "x.ppm")

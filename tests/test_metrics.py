@@ -1,0 +1,166 @@
+"""Tests for repro.image.metrics (MSE / PSNR / SSIM / dynamic range)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image import (
+    HDRImage,
+    dynamic_range,
+    dynamic_range_stops,
+    mse,
+    psnr,
+    ssim,
+)
+
+
+def noisy_pair(shape=(64, 64), sigma=0.01, seed=5):
+    rng = np.random.default_rng(seed)
+    ref = rng.uniform(0.2, 0.8, shape)
+    noise = rng.normal(0, sigma, shape)
+    return ref, np.clip(ref + noise, 0, 1)
+
+
+class TestMse:
+    def test_identical_images(self):
+        ref, _ = noisy_pair()
+        assert mse(ref, ref) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_symmetry(self):
+        a, b = noisy_pair()
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ImageError):
+            mse(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_accepts_hdrimage(self):
+        img = HDRImage(np.full((4, 4), 0.5, dtype=np.float32))
+        assert mse(img, img) == 0.0
+
+
+class TestPsnr:
+    def test_identical_is_inf(self):
+        ref, _ = noisy_pair()
+        assert psnr(ref, ref) == math.inf
+
+    def test_known_value(self):
+        # MSE = 0.01 with data range 1 -> PSNR = 20 dB.
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 0.1)
+        assert psnr(a, b, data_range=1.0) == pytest.approx(20.0)
+
+    def test_less_noise_higher_psnr(self):
+        ref, noisy_small = noisy_pair(sigma=0.001)
+        _, noisy_big = noisy_pair(sigma=0.1)
+        assert psnr(ref, noisy_small, 1.0) > psnr(ref, noisy_big, 1.0)
+
+    def test_default_data_range_uses_reference_peak(self):
+        a = np.full((4, 4), 2.0)
+        b = np.full((4, 4), 1.8)
+        explicit = psnr(a, b, data_range=2.0)
+        assert psnr(a, b) == pytest.approx(explicit)
+
+    def test_invalid_data_range(self):
+        with pytest.raises(ImageError):
+            psnr(np.ones((4, 4)), np.ones((4, 4)), data_range=-1.0)
+
+    def test_rgb_supported(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 1, (16, 16, 3))
+        b = np.clip(a + rng.normal(0, 0.01, a.shape), 0, 1)
+        assert 30 < psnr(a, b, 1.0) < 60
+
+
+class TestSsim:
+    def test_identical_is_one(self):
+        ref, _ = noisy_pair(shape=(32, 32))
+        result = ssim(ref, ref, data_range=1.0)
+        assert float(result) == pytest.approx(1.0)
+
+    def test_bounded_above_by_one(self):
+        ref, noisy = noisy_pair(shape=(32, 32), sigma=0.05)
+        assert float(ssim(ref, noisy, 1.0)) < 1.0
+
+    def test_symmetry(self):
+        ref, noisy = noisy_pair(shape=(32, 32), sigma=0.05)
+        assert float(ssim(ref, noisy, 1.0)) == pytest.approx(
+            float(ssim(noisy, ref, 1.0)), abs=1e-12
+        )
+
+    def test_more_noise_lower_ssim(self):
+        ref, small = noisy_pair(shape=(32, 32), sigma=0.01)
+        _, big = noisy_pair(shape=(32, 32), sigma=0.2)
+        assert float(ssim(ref, small, 1.0)) > float(ssim(ref, big, 1.0))
+
+    def test_constant_shift_penalized_by_luminance_term(self):
+        ref = np.full((32, 32), 0.3)
+        shifted = np.full((32, 32), 0.6)
+        result = ssim(ref, shifted, data_range=1.0)
+        assert result.luminance_term < 1.0
+
+    def test_structural_inversion_is_negative(self):
+        rng = np.random.default_rng(3)
+        ref = rng.uniform(0.0, 1.0, (32, 32))
+        inverted = 1.0 - ref
+        assert float(ssim(ref, inverted, 1.0)) < 0.0
+
+    def test_map_shape_is_valid_window(self):
+        ref, noisy = noisy_pair(shape=(40, 50))
+        result = ssim(ref, noisy, 1.0)
+        assert result.ssim_map.shape == (40 - 10, 50 - 10)
+
+    def test_rgb_averaged(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, (32, 32, 3))
+        result = ssim(a, a, 1.0)
+        assert float(result) == pytest.approx(1.0)
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ImageError, match="window"):
+            ssim(np.ones((8, 8)), np.ones((8, 8)))
+
+    def test_bad_window_parameters(self):
+        ref, noisy = noisy_pair(shape=(32, 32))
+        with pytest.raises(ImageError):
+            ssim(ref, noisy, 1.0, window_size=10)  # even
+        with pytest.raises(ImageError):
+            ssim(ref, noisy, 1.0, sigma=-1.0)
+
+    def test_paper_style_comparison_near_one(self):
+        # Quantization-level noise (~2^-12) must give SSIM ~ 1.0 as the
+        # paper reports for its FxP-vs-FlP comparison.
+        ref, noisy = noisy_pair(shape=(64, 64), sigma=2.0**-12)
+        assert float(ssim(ref, noisy, 1.0)) > 0.9999
+
+
+class TestDynamicRange:
+    def test_ratio(self):
+        img = np.array([[0.01, 10.0]])
+        assert dynamic_range(img) == pytest.approx(1000.0)
+
+    def test_stops(self):
+        img = np.array([[1.0, 1024.0]])
+        assert dynamic_range_stops(img) == pytest.approx(10.0)
+
+    def test_zero_floor_is_inf(self):
+        img = np.array([[0.0, 1.0]])
+        assert dynamic_range(img) == math.inf
+
+    def test_black_image(self):
+        img = np.zeros((2, 2))
+        assert dynamic_range(img) == 1.0
+
+    def test_percentile_floor_robust_to_outliers(self):
+        img = np.full((100, 100), 1.0)
+        img[0, 0] = 1e-9  # single dead pixel
+        robust = dynamic_range(img, percentile_floor=1.0)
+        naive = dynamic_range(img)
+        assert robust < naive

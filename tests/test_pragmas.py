@@ -1,0 +1,137 @@
+"""Tests for repro.hls.pragmas."""
+
+import pytest
+
+from repro.errors import PragmaError
+from repro.hls import (
+    AccessKind,
+    ArrayDecl,
+    ArrayPartitionPragma,
+    Kernel,
+    KernelArg,
+    Loop,
+    PartitionKind,
+    PipelinePragma,
+    Storage,
+    UnrollPragma,
+    apply_pragmas,
+)
+
+
+def kernel():
+    return Kernel(
+        name="k",
+        args=[KernelArg("a", AccessKind.READ, 64, 32)],
+        arrays=[
+            ArrayDecl("buf", 64, 32),
+            ArrayDecl("ext", 64, 32, storage=Storage.EXTERNAL),
+        ],
+        loops=[Loop("outer", trip_count=16, subloops=[Loop("inner", 8)])],
+    )
+
+
+class TestPipelinePragma:
+    def test_sets_flag(self):
+        out = apply_pragmas(kernel(), [PipelinePragma("inner")])
+        assert out.find_loop("inner").pipeline is True
+        assert out.find_loop("outer").pipeline is False
+
+    def test_original_untouched(self):
+        k = kernel()
+        apply_pragmas(k, [PipelinePragma("outer")])
+        assert k.find_loop("outer").pipeline is False
+
+    def test_unknown_loop(self):
+        with pytest.raises(PragmaError, match="unknown loop"):
+            apply_pragmas(kernel(), [PipelinePragma("ghost")])
+
+    def test_invalid_ii_target(self):
+        with pytest.raises(PragmaError):
+            PipelinePragma("outer", ii_target=0)
+
+
+class TestUnrollPragma:
+    def test_sets_factor(self):
+        out = apply_pragmas(kernel(), [UnrollPragma("inner", factor=4)])
+        assert out.find_loop("inner").unroll_factor == 4
+
+    def test_factor_exceeding_trip_rejected(self):
+        with pytest.raises(PragmaError, match="exceeds trip count"):
+            apply_pragmas(kernel(), [UnrollPragma("inner", factor=16)])
+
+    def test_invalid_factor(self):
+        with pytest.raises(PragmaError):
+            UnrollPragma("inner", factor=0)
+
+
+class TestArrayPartitionPragma:
+    def test_cyclic_multiplies_factor(self):
+        out = apply_pragmas(
+            kernel(), [ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 4)]
+        )
+        assert out.array("buf").partition_factor == 4
+
+    def test_block_same_model(self):
+        out = apply_pragmas(
+            kernel(), [ArrayPartitionPragma("buf", PartitionKind.BLOCK, 8)]
+        )
+        assert out.array("buf").partition_factor == 8
+
+    def test_stacked_partitions_compose(self):
+        out = apply_pragmas(
+            kernel(),
+            [
+                ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 2),
+                ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 2),
+            ],
+        )
+        assert out.array("buf").partition_factor == 4
+
+    def test_complete_becomes_registers(self):
+        out = apply_pragmas(
+            kernel(), [ArrayPartitionPragma("buf", PartitionKind.COMPLETE)]
+        )
+        decl = out.array("buf")
+        assert decl.storage is Storage.REGISTERS
+        assert decl.ports_per_cycle == float("inf")
+
+    def test_external_array_rejected(self):
+        with pytest.raises(PragmaError, match="external"):
+            apply_pragmas(
+                kernel(), [ArrayPartitionPragma("ext", PartitionKind.CYCLIC, 2)]
+            )
+
+    def test_factor_exceeding_depth_rejected(self):
+        with pytest.raises(PragmaError, match="exceeds array depth"):
+            apply_pragmas(
+                kernel(), [ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 128)]
+            )
+
+    def test_factor_one_rejected(self):
+        with pytest.raises(PragmaError, match="no-op"):
+            ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 1)
+
+    def test_unknown_array(self):
+        with pytest.raises(PragmaError, match="unknown array"):
+            apply_pragmas(
+                kernel(), [ArrayPartitionPragma("ghost", PartitionKind.CYCLIC, 2)]
+            )
+
+
+class TestApplyPragmas:
+    def test_non_pragma_rejected(self):
+        with pytest.raises(PragmaError, match="not a pragma"):
+            apply_pragmas(kernel(), ["#pragma HLS PIPELINE"])
+
+    def test_order_of_application(self):
+        out = apply_pragmas(
+            kernel(),
+            [
+                PipelinePragma("outer"),
+                UnrollPragma("inner", 2),
+                ArrayPartitionPragma("buf", PartitionKind.CYCLIC, 2),
+            ],
+        )
+        assert out.find_loop("outer").pipeline
+        assert out.find_loop("inner").unroll_factor == 2
+        assert out.array("buf").partition_factor == 2

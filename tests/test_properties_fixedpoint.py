@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the fixed-point substrate.
+
+Invariants: quantization error bounds, scalar/vector agreement, widening
+exactness, cast monotonicity, overflow containment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (
+    ApFixed,
+    FixedArray,
+    FixedFormat,
+    Overflow,
+    Quant,
+    quantize_array,
+    raw_to_float,
+)
+
+formats = st.builds(
+    FixedFormat,
+    word_length=st.integers(min_value=4, max_value=24),
+    int_length=st.integers(min_value=0, max_value=8),
+    signed=st.booleans(),
+    quant=st.sampled_from(list(Quant)),
+    overflow=st.sampled_from([Overflow.SAT, Overflow.WRAP, Overflow.SAT_SYM]),
+)
+
+in_range_values = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestQuantizationProperties:
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=300, deadline=None)
+    def test_scalar_vector_agree(self, fmt, value):
+        scalar = ApFixed.from_float(value, fmt).raw
+        vector = int(quantize_array(np.array([value]), fmt)[0])
+        assert scalar == vector
+
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=300, deadline=None)
+    def test_result_always_in_range(self, fmt, value):
+        x = ApFixed.from_float(value, fmt)
+        assert fmt.raw_min <= x.raw <= fmt.raw_max
+
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=300, deadline=None)
+    def test_error_bounded_when_representable(self, fmt, value):
+        # Inside the representable range the quantization error is at
+        # most one LSB (truncation) / half an LSB (rounding).
+        if not (fmt.min_value <= value <= fmt.max_value):
+            return
+        x = ApFixed.from_float(value, fmt)
+        bound = fmt.resolution if fmt.quant in (Quant.TRN, Quant.TRN_ZERO) \
+            else fmt.resolution / 2
+        assert abs(x.to_float() - value) <= bound + 1e-12
+
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_idempotent(self, fmt, value):
+        once = ApFixed.from_float(value, fmt)
+        twice = ApFixed.from_float(once.to_float(), fmt)
+        assert once.raw == twice.raw
+
+    @given(
+        fmt=formats,
+        a=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        b=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_trn_monotone(self, fmt, a, b):
+        # Truncation (and every rounding mode) is monotone.
+        fmt = fmt.with_modes(quant=Quant.TRN, overflow=Overflow.SAT)
+        xa = ApFixed.from_float(a, fmt)
+        xb = ApFixed.from_float(b, fmt)
+        if a <= b:
+            assert xa.to_float() <= xb.to_float()
+
+
+class TestArithmeticProperties:
+    small_fmt = FixedFormat(16, 6, quant=Quant.RND, overflow=Overflow.SAT)
+
+    @given(
+        a=st.floats(min_value=-15, max_value=15, allow_nan=False),
+        b=st.floats(min_value=-15, max_value=15, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_exact(self, a, b):
+        xa = ApFixed.from_float(a, self.small_fmt)
+        xb = ApFixed.from_float(b, self.small_fmt)
+        assert (xa + xb).to_float() == pytest.approx(
+            xa.to_float() + xb.to_float(), abs=1e-12
+        )
+
+    @given(
+        a=st.floats(min_value=-15, max_value=15, allow_nan=False),
+        b=st.floats(min_value=-15, max_value=15, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mul_exact(self, a, b):
+        xa = ApFixed.from_float(a, self.small_fmt)
+        xb = ApFixed.from_float(b, self.small_fmt)
+        assert (xa * xb).to_float() == pytest.approx(
+            xa.to_float() * xb.to_float(), abs=1e-12
+        )
+
+    @given(
+        a=st.floats(min_value=-15, max_value=15, allow_nan=False),
+        b=st.floats(min_value=-15, max_value=15, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_commutative(self, a, b):
+        xa = ApFixed.from_float(a, self.small_fmt)
+        xb = ApFixed.from_float(b, self.small_fmt)
+        assert (xa + xb) == (xb + xa)
+
+    @given(a=st.floats(min_value=-15, max_value=15, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_neg_involutive(self, a):
+        x = ApFixed.from_float(a, self.small_fmt)
+        assert (-(-x)) == x
+
+    @given(a=st.floats(min_value=-15, max_value=15, allow_nan=False),
+           bits=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_roundtrip(self, a, bits):
+        x = ApFixed.from_float(a, self.small_fmt)
+        assert ((x >> bits) << bits) == x
+
+
+class TestArrayProperties:
+    @given(
+        fmt=formats,
+        values=st.lists(in_range_values, min_size=1, max_size=32),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_array_roundtrip_idempotent(self, fmt, values):
+        arr = np.asarray(values)
+        raw1 = quantize_array(arr, fmt)
+        raw2 = quantize_array(raw_to_float(raw1, fmt), fmt)
+        np.testing.assert_array_equal(raw1, raw2)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_array_cast_matches_scalar(self, values):
+        wide = FixedFormat(24, 8, quant=Quant.RND, overflow=Overflow.SAT)
+        narrow = FixedFormat(10, 4, quant=Quant.TRN, overflow=Overflow.SAT)
+        arr = FixedArray.from_float(np.asarray(values), wide).cast(narrow)
+        for i, v in enumerate(values):
+            scalar = ApFixed.from_float(v, wide).cast(narrow)
+            assert arr.element(i) == scalar

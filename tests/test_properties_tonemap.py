@@ -1,0 +1,145 @@
+"""Property-based tests for the tone-mapping and metrics substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.image.metrics import psnr, ssim
+from repro.tonemap import (
+    GaussianKernel,
+    MaskingParams,
+    adjust_brightness_contrast,
+    AdjustParams,
+    nonlinear_masking,
+    separable_blur,
+)
+from repro.tonemap.fixed_blur import FixedBlurConfig, fixed_point_blur_plane
+
+planes = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=12, max_value=24),
+        st.integers(min_value=12, max_value=24),
+    ),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                       width=64),
+)
+
+kernels = st.builds(
+    GaussianKernel,
+    sigma=st.floats(min_value=0.5, max_value=4.0),
+    radius=st.integers(min_value=1, max_value=5),
+)
+
+
+class TestBlurProperties:
+    @given(plane=planes, kernel=kernels)
+    @settings(max_examples=60, deadline=None)
+    def test_output_within_input_range(self, plane, kernel):
+        out = separable_blur(plane, kernel)
+        assert out.min() >= plane.min() - 1e-9
+        assert out.max() <= plane.max() + 1e-9
+
+    @given(plane=planes, kernel=kernels)
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance_of_constant_offset(self, plane, kernel):
+        # blur(x + c) == blur(x) + c: the kernel sums to one.
+        out_a = separable_blur(plane, kernel)
+        out_b = separable_blur(plane + 0.25, kernel)
+        np.testing.assert_allclose(out_b, out_a + 0.25, atol=1e-9)
+
+    @given(plane=planes, kernel=kernels, scale=st.floats(0.1, 4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneity(self, plane, kernel, scale):
+        np.testing.assert_allclose(
+            separable_blur(scale * plane, kernel),
+            scale * separable_blur(plane, kernel),
+            atol=1e-9,
+        )
+
+    @given(plane=planes, kernel=kernels)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_blur_error_bounded(self, plane, kernel):
+        # Fixed-point output differs from float by a bounded number of
+        # LSBs (quantization per pass plus coefficient truncation).
+        cfg = FixedBlurConfig()
+        fixed = fixed_point_blur_plane(plane, kernel, cfg)
+        ref = separable_blur(plane, kernel)
+        lsb = cfg.data_fmt.resolution
+        assert np.max(np.abs(fixed - ref)) <= 8 * lsb
+
+    @given(plane=planes, kernel=kernels)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_blur_output_saturates_not_wraps(self, plane, kernel):
+        out = fixed_point_blur_plane(plane, kernel)
+        assert out.min() >= -1e-9  # never wraps to negative
+
+
+class TestMaskingProperties:
+    @given(plane=planes, mask_level=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_output_unit_range(self, plane, mask_level):
+        mask = np.full(plane.shape, mask_level)
+        out = nonlinear_masking(plane, mask)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    @given(plane=planes, mask_level=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_pixel_value(self, plane, mask_level):
+        mask = np.full(plane.shape, mask_level)
+        out = nonlinear_masking(plane, mask)
+        flat_in = plane.ravel()
+        flat_out = out.ravel()
+        order = np.argsort(flat_in)
+        diffs = np.diff(flat_out[order])
+        assert np.all(diffs >= -1e-12)
+
+    @given(plane=planes)
+    @settings(max_examples=40, deadline=None)
+    def test_strength_zero_is_identity(self, plane):
+        mask = np.random.default_rng(0).uniform(0, 1, plane.shape)
+        out = nonlinear_masking(plane, mask, MaskingParams(strength=0.0))
+        np.testing.assert_allclose(out, plane, atol=1e-12)
+
+    @given(
+        plane=planes,
+        brightness=st.floats(-0.5, 0.5),
+        contrast=st.floats(0.25, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adjust_clamped_and_monotone(self, plane, brightness, contrast):
+        out = adjust_brightness_contrast(
+            plane, AdjustParams(brightness=brightness, contrast=contrast)
+        )
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        order = np.argsort(plane.ravel())
+        assert np.all(np.diff(out.ravel()[order]) >= -1e-12)
+
+
+class TestMetricProperties:
+    @given(plane=planes, sigma=st.floats(0.001, 0.1))
+    @settings(max_examples=40, deadline=None)
+    def test_psnr_decreases_with_noise(self, plane, sigma):
+        rng = np.random.default_rng(1)
+        n1 = np.clip(plane + rng.normal(0, sigma, plane.shape), 0, 1)
+        n2 = np.clip(plane + rng.normal(0, 4 * sigma, plane.shape), 0, 1)
+        p1 = psnr(plane, n1, 1.0)
+        p2 = psnr(plane, n2, 1.0)
+        if np.isfinite(p1) and np.isfinite(p2):
+            assert p1 >= p2 - 1.0  # allow clip-induced wiggle
+
+    @given(plane=planes)
+    @settings(max_examples=40, deadline=None)
+    def test_ssim_self_is_one(self, plane):
+        result = ssim(plane, plane, data_range=1.0)
+        assert float(result) == pytest.approx(1.0)
+
+    @given(plane=planes, sigma=st.floats(0.001, 0.05))
+    @settings(max_examples=40, deadline=None)
+    def test_ssim_bounded(self, plane, sigma):
+        rng = np.random.default_rng(2)
+        noisy = np.clip(plane + rng.normal(0, sigma, plane.shape), 0, 1)
+        value = float(ssim(plane, noisy, 1.0))
+        assert -1.0 <= value <= 1.0 + 1e-12

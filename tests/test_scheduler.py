@@ -1,0 +1,217 @@
+"""Tests for repro.hls.scheduler (the II/latency model)."""
+
+import pytest
+
+from repro.errors import HlsError
+from repro.hls import (
+    AccessKind,
+    AccessPattern,
+    ArrayDecl,
+    ArrayPartitionPragma,
+    CarriedDependence,
+    Kernel,
+    KernelArg,
+    Loop,
+    MemAccess,
+    OpKind,
+    PartitionKind,
+    PipelinePragma,
+    Statement,
+    Storage,
+    apply_pragmas,
+    schedule_kernel,
+)
+from repro.hls.scheduler import (
+    FUNCTION_OVERHEAD,
+    PIPELINE_OVERHEAD,
+    ExternalAccessModel,
+)
+
+
+def mac_kernel(trip=100, fixed=False, carried=True, storage=Storage.BRAM,
+               pattern=AccessPattern.SEQUENTIAL, reads_per_iter=1):
+    """A single-loop MAC kernel parameterized for the tests."""
+    add = OpKind.ADD if fixed else OpKind.FADD
+    mul = OpKind.MUL if fixed else OpKind.FMUL
+    stmt = Statement(
+        "mac",
+        chain=(OpKind.LOAD, mul, add),
+        ops={OpKind.LOAD: reads_per_iter, mul: 1, add: 1},
+        accesses=(
+            MemAccess("data", AccessKind.READ, pattern, count=reads_per_iter),
+        ),
+        carried=CarriedDependence(1, (add,)) if carried else None,
+    )
+    return Kernel(
+        name="mac",
+        args=[KernelArg("data", AccessKind.READ, trip, 32)],
+        arrays=[ArrayDecl("data", max(trip, reads_per_iter), 32, storage)],
+        loops=[Loop("loop", trip_count=trip, statements=[stmt])],
+    )
+
+
+class TestPipelinedScheduling:
+    def test_float_accumulator_ii_is_fadd_latency(self):
+        # The core FxP argument: a float accumulation loop is recurrence-
+        # bound at II = fadd latency (4); fixed point reaches II = 1.
+        k = apply_pragmas(mac_kernel(fixed=False), [PipelinePragma("loop")])
+        sched = schedule_kernel(k)
+        assert sched.find("loop").ii == 4
+        assert sched.find("loop").ii_breakdown.limited_by == "recurrence"
+
+    def test_fixed_accumulator_reaches_ii_1(self):
+        k = apply_pragmas(mac_kernel(fixed=True), [PipelinePragma("loop")])
+        assert schedule_kernel(k).find("loop").ii == 1
+
+    def test_port_limited_ii(self):
+        k = apply_pragmas(
+            mac_kernel(fixed=True, carried=False, reads_per_iter=8),
+            [PipelinePragma("loop")],
+        )
+        sched = schedule_kernel(k).find("loop")
+        assert sched.ii == 4  # 8 reads / 2 ports
+        assert "data" in sched.ii_breakdown.limited_by
+
+    def test_partitioning_lowers_port_ii(self):
+        k = apply_pragmas(
+            mac_kernel(fixed=True, carried=False, reads_per_iter=8),
+            [
+                PipelinePragma("loop"),
+                ArrayPartitionPragma("data", PartitionKind.CYCLIC, 4),
+            ],
+        )
+        assert schedule_kernel(k).find("loop").ii == 1
+
+    def test_pipelined_latency_formula(self):
+        k = apply_pragmas(mac_kernel(trip=100, fixed=True), [PipelinePragma("loop")])
+        sched = schedule_kernel(k).find("loop")
+        expected = sched.depth + sched.ii * (100 - 1) + PIPELINE_OVERHEAD
+        assert sched.latency_cycles == expected
+
+    def test_register_array_unconstrained(self):
+        k = mac_kernel(fixed=True, carried=False, reads_per_iter=64,
+                       storage=Storage.REGISTERS)
+        k = apply_pragmas(k, [PipelinePragma("loop")])
+        assert schedule_kernel(k).find("loop").ii == 1
+
+    def test_random_external_access_blows_up_ii(self):
+        k = mac_kernel(carried=False, storage=Storage.EXTERNAL,
+                       pattern=AccessPattern.RANDOM)
+        k = apply_pragmas(k, [PipelinePragma("loop")])
+        ext = ExternalAccessModel(read_latency=150)
+        assert schedule_kernel(k, external=ext).find("loop").ii == 150
+
+    def test_sequential_external_bursts(self):
+        k = mac_kernel(carried=False, storage=Storage.EXTERNAL,
+                       pattern=AccessPattern.SEQUENTIAL)
+        k = apply_pragmas(k, [PipelinePragma("loop")])
+        assert schedule_kernel(k).find("loop").ii == 1
+
+
+class TestUnrollingAndNesting:
+    def test_unroll_divides_trip(self):
+        k = mac_kernel(trip=100, fixed=True, carried=False)
+        k.find_loop("loop").unroll_factor = 4
+        sched = schedule_kernel(k).find("loop")
+        assert sched.trip_count == 25
+
+    def test_pipelining_outer_unrolls_inner(self):
+        # Inner 8-iteration loop with 1 read each -> flattened 8 reads
+        # against 2 BRAM ports -> II=4 on the outer loop.
+        inner_stmt = Statement(
+            "body",
+            chain=(OpKind.LOAD, OpKind.ADD),
+            accesses=(MemAccess("buf", AccessKind.READ),),
+        )
+        k = Kernel(
+            name="nest",
+            args=[],
+            arrays=[ArrayDecl("buf", 64, 32)],
+            loops=[
+                Loop(
+                    "outer",
+                    trip_count=50,
+                    subloops=[Loop("inner", 8, statements=[inner_stmt])],
+                )
+            ],
+        )
+        k = apply_pragmas(k, [PipelinePragma("outer")])
+        assert schedule_kernel(k).find("outer").ii == 4
+
+    def test_inner_recurrence_dropped_when_unrolled(self):
+        # A MAC accumulator carried by the inner loop becomes a spatial
+        # reduction tree once the pipelined outer loop unrolls it.
+        inner_stmt = Statement(
+            "mac",
+            chain=(OpKind.FADD,),
+            carried=CarriedDependence(1, (OpKind.FADD,)),
+        )
+        k = Kernel(
+            name="nest",
+            args=[],
+            arrays=[],
+            loops=[
+                Loop(
+                    "outer",
+                    trip_count=10,
+                    subloops=[Loop("inner", 4, statements=[inner_stmt])],
+                )
+            ],
+        )
+        k = apply_pragmas(k, [PipelinePragma("outer")])
+        assert schedule_kernel(k).find("outer").ii == 1
+
+    def test_non_pipelined_nest_latency(self):
+        k = mac_kernel(trip=10, fixed=True)
+        sched = schedule_kernel(k)
+        loop = sched.find("loop")
+        assert not loop.pipelined
+        # iteration = depth + 1 overhead; total = trip*iteration + 2.
+        assert loop.latency_cycles == 10 * (loop.depth + 1) + 2
+
+    def test_total_includes_function_overhead(self):
+        k = mac_kernel(trip=10, fixed=True)
+        sched = schedule_kernel(k)
+        assert sched.total_cycles == (
+            sum(l.latency_cycles for l in sched.loops) + FUNCTION_OVERHEAD
+        )
+
+
+class TestNonPipelinedExternalStalls:
+    def test_random_reads_pay_full_latency(self):
+        k = mac_kernel(trip=10, carried=False, storage=Storage.EXTERNAL,
+                       pattern=AccessPattern.RANDOM)
+        ext = ExternalAccessModel(read_latency=100)
+        sched = schedule_kernel(k, external=ext).find("loop")
+        assert sched.depth >= 100
+
+    def test_sequential_reads_also_stall_without_pipeline(self):
+        # Without pipelining there is no burst inference (the Marked-HW
+        # mechanism): sequential pattern still pays per-access latency.
+        k = mac_kernel(trip=10, carried=False, storage=Storage.EXTERNAL,
+                       pattern=AccessPattern.SEQUENTIAL)
+        ext = ExternalAccessModel(read_latency=100)
+        sched = schedule_kernel(k, external=ext).find("loop")
+        assert sched.depth >= 100
+
+
+class TestScheduleResult:
+    def test_find_unknown_raises(self):
+        sched = schedule_kernel(mac_kernel())
+        with pytest.raises(HlsError):
+            sched.find("ghost")
+
+    def test_loop_table_flattens(self):
+        inner = Loop("inner", 4)
+        k = Kernel(
+            name="nest", args=[], arrays=[],
+            loops=[Loop("outer", 10, subloops=[inner])],
+        )
+        table = schedule_kernel(k).loop_table()
+        assert [t.name for t in table] == ["outer", "inner"]
+
+    def test_external_model_validation(self):
+        with pytest.raises(HlsError):
+            ExternalAccessModel(read_latency=0)
+        with pytest.raises(HlsError):
+            ExternalAccessModel(burst_issue_interval=0)

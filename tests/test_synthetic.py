@@ -1,0 +1,102 @@
+"""Tests for repro.image.synthetic (procedural HDR scenes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image import (
+    SCENE_BUILDERS,
+    SceneParams,
+    dynamic_range_stops,
+    make_scene,
+    window_interior_scene,
+)
+
+SMALL = SceneParams(height=64, width=64)
+
+
+class TestSceneParams:
+    def test_defaults_match_paper_size(self):
+        params = SceneParams()
+        assert params.height == 1024
+        assert params.width == 1024
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ImageError):
+            SceneParams(height=4, width=64)
+
+    def test_nonpositive_peak_rejected(self):
+        with pytest.raises(ImageError):
+            SceneParams(peak_luminance=0.0)
+
+
+@pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+class TestAllScenes:
+    def test_shape_and_validity(self, name):
+        img = make_scene(name, SMALL)
+        assert img.height == 64
+        assert img.width == 64
+        assert img.is_color
+        assert img.min_value >= 0.0
+
+    def test_peak_luminance_respected(self, name):
+        params = SceneParams(height=64, width=64, peak_luminance=1234.0)
+        img = make_scene(name, params)
+        assert img.max_value == pytest.approx(1234.0, rel=1e-5)
+
+    def test_deterministic(self, name):
+        a = make_scene(name, SMALL)
+        b = make_scene(name, SMALL)
+        np.testing.assert_array_equal(a.pixels, b.pixels)
+
+    def test_seed_changes_textured_scenes(self, name):
+        a = make_scene(name, SceneParams(height=64, width=64, seed=1))
+        b = make_scene(name, SceneParams(height=64, width=64, seed=2))
+        if name in ("gradient", "checker"):  # deterministic, no noise
+            np.testing.assert_array_equal(a.pixels, b.pixels)
+        else:
+            assert not np.array_equal(a.pixels, b.pixels)
+
+    def test_high_dynamic_range(self, name):
+        img = make_scene(name, SceneParams(height=128, width=128))
+        # HDR scenes must span many stops (paper: "very high ratio between
+        # the luminance of the brightest and the darkest pixel").
+        assert dynamic_range_stops(img, percentile_floor=1.0) > 6.0
+
+    def test_gray_variant(self, name):
+        img = make_scene(name, SceneParams(height=64, width=64, color=False))
+        assert not img.is_color
+
+
+class TestRegistry:
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(ImageError, match="unknown scene"):
+            make_scene("nope", SMALL)
+
+    def test_registry_complete(self):
+        assert set(SCENE_BUILDERS) == {
+            "window_interior",
+            "outdoor_sun",
+            "gradient",
+            "checker",
+            "starfield",
+        }
+
+
+class TestWindowInterior:
+    """The paper-workload scene gets extra scrutiny."""
+
+    def test_window_is_brightest_region(self):
+        img = window_interior_scene(SceneParams(height=128, width=128))
+        lum = img.luminance()
+        bright_y, bright_x = np.unravel_index(np.argmax(lum), lum.shape)
+        # Window spans y in [0.18, 0.62], x in [0.52, 0.84]; the sky
+        # gradient peaks at the window's top edge, so allow the borders.
+        assert 0.17 * 128 <= bright_y <= 0.63 * 128
+        assert 0.51 * 128 <= bright_x <= 0.85 * 128
+
+    def test_has_dark_interior(self):
+        img = window_interior_scene(SceneParams(height=128, width=128))
+        lum = img.luminance()
+        # A meaningful fraction of the scene is deep shadow (< 1% of peak).
+        assert np.mean(lum < 0.01 * lum.max()) > 0.3
