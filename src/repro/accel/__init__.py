@@ -19,7 +19,12 @@ Modules:
 """
 
 from repro.accel.geometry import BlurGeometry
-from repro.accel.linebuffer import LineBuffer, ShiftWindow, streaming_blur_plane
+from repro.accel.linebuffer import (
+    LineBuffer,
+    ShiftWindow,
+    streaming_blur_plane,
+    streaming_blur_plane_scalar,
+)
 from repro.accel.specs import (
     naive_offload_kernel,
     streaming_blur_kernel,
@@ -39,6 +44,7 @@ __all__ = [
     "LineBuffer",
     "ShiftWindow",
     "streaming_blur_plane",
+    "streaming_blur_plane_scalar",
     "naive_offload_kernel",
     "streaming_blur_kernel",
     "streaming_pragmas",

@@ -7,10 +7,22 @@ starts the computation and each new streamed pixel substitutes the oldest
 one in the buffer."
 
 :class:`LineBuffer` and :class:`ShiftWindow` are the functional Python
-equivalents of the HLS idioms, and :func:`streaming_blur_plane` runs the
-full streaming dataflow — one pixel in, one pixel out per step — so tests
-can verify the restructured architecture computes the *same* blur as the
-batch reference (it is a pure reordering of the arithmetic).
+equivalents of the HLS idioms.  Two drivers run the full streaming
+dataflow:
+
+* :func:`streaming_blur_plane` — the fast model: the same line-buffer
+  rotation (one row in, one row out, K BRAM rows), but each row's vertical
+  reduction and horizontal window sweep are single vectorized NumPy
+  operations instead of Python work per pixel.  This is what benchmarks
+  and the batch runtime exercise.
+* :func:`streaming_blur_plane_scalar` — the literal one-pixel-per-step
+  model, O(K) Python work per pixel; it is the closest mirror of the HLS
+  inner loop and is kept for small planes and dataflow tests.
+
+Both must agree with the batch reference in
+:func:`repro.tonemap.gaussian.separable_blur` to floating-point
+reassociation tolerance (property-tested): the restructuring is a pure
+reordering of the arithmetic.
 """
 
 from __future__ import annotations
@@ -37,10 +49,15 @@ class LineBuffer:
         self.width = width
         self._data = np.zeros((rows, width), dtype=np.float64)
         self._newest = rows - 1  # index of the most recently written row
+        self._arange = np.arange(rows)
+        # Oldest-first physical row order, refreshed once per row rotation
+        # so per-column reads stop rebuilding the index array.
+        self._order = (self._newest + 1 + self._arange) % rows
 
     def start_row(self) -> None:
         """Advance to a new image row (rotates the oldest row in)."""
         self._newest = (self._newest + 1) % self.rows
+        self._order = (self._newest + 1 + self._arange) % self.rows
 
     def insert(self, x: int, value: float) -> None:
         """Write the incoming pixel of the current row at column *x*."""
@@ -52,8 +69,11 @@ class LineBuffer:
         """The K values of column *x*, oldest row first."""
         if not 0 <= x < self.width:
             raise ToneMapError(f"column {x} out of range 0..{self.width - 1}")
-        order = (self._newest + 1 + np.arange(self.rows)) % self.rows
-        return self._data[order, x]
+        return self._data[self._order, x]
+
+    def rows_in_order(self) -> np.ndarray:
+        """All buffered rows as a ``(K, W)`` array, oldest row first."""
+        return self._data[self._order]
 
     def fill_row(self, values: np.ndarray) -> None:
         """Convenience: start a row and insert a full row of pixels."""
@@ -67,49 +87,61 @@ class LineBuffer:
 
 
 class ShiftWindow:
-    """A K-element shift register window (the horizontal filter window)."""
+    """A K-element shift register window (the horizontal filter window).
+
+    Stored as a ring buffer: ``shift_in`` overwrites the oldest slot and
+    advances a head index (O(1)) instead of copying the K-1 surviving
+    elements the way a literal shift register would.
+    """
 
     def __init__(self, taps: int):
         if taps < 1:
             raise ToneMapError(f"taps must be >= 1, got {taps}")
         self.taps = taps
         self._values = np.zeros(taps, dtype=np.float64)
+        self._head = 0  # index of the oldest element
 
     def shift_in(self, value: float) -> None:
         """Push a value; the oldest falls out."""
-        self._values[:-1] = self._values[1:]
-        self._values[-1] = value
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.taps
 
     @property
     def values(self) -> np.ndarray:
-        """Window contents, oldest first (read-only view)."""
-        view = self._values.view()
-        view.setflags(write=False)
-        return view
+        """Window contents, oldest first (read-only)."""
+        ordered = np.concatenate(
+            (self._values[self._head :], self._values[: self._head])
+        )
+        ordered.setflags(write=False)
+        return ordered
 
     def dot(self, coefficients: np.ndarray) -> float:
-        """Weighted sum of the window with *coefficients*."""
+        """Weighted sum of the window with *coefficients* (oldest-first)."""
         coefficients = np.asarray(coefficients, dtype=np.float64)
         if coefficients.shape != (self.taps,):
             raise ToneMapError(
                 f"expected {self.taps} coefficients, got {coefficients.shape}"
             )
-        return float(self._values @ coefficients)
+        split = self.taps - self._head
+        return float(
+            self._values[self._head :] @ coefficients[:split]
+            + self._values[: self._head] @ coefficients[split:]
+        )
 
 
 def streaming_blur_plane(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
     """Separable Gaussian blur via the streaming line-buffer dataflow.
 
-    Processes the image row by row: each incoming row enters the line
-    buffer; the vertical convolution reads one line-buffer column; its
-    result shifts into the horizontal window whose dot product is the
-    output pixel.  Borders replicate edges by pre-filling the buffer and
-    window, matching the batch reference in
-    :func:`repro.tonemap.gaussian.separable_blur` — the two must agree to
-    floating-point reassociation tolerance (property-tested).
-
-    This is O(K) Python work per pixel; use it on small planes (tests,
-    demos).  The batch reference is the fast path.
+    Row-vectorized: the image still flows through the rotating
+    :class:`LineBuffer` one row at a time — row *y* is emitted once row
+    ``y + radius`` has been inserted, exactly the Fig. 4 schedule — but the
+    per-row work is two NumPy reductions: the vertical pass reads the whole
+    buffer in oldest-first order and contracts it with the kernel; the
+    horizontal pass sweeps the K-wide window across the edge-padded
+    vertical result via a strided view.  Borders replicate edges by
+    pre-filling the buffer, matching the batch reference in
+    :func:`repro.tonemap.gaussian.separable_blur` to reassociation
+    tolerance (property-tested).
     """
     plane = np.asarray(plane, dtype=np.float64)
     if plane.ndim != 2:
@@ -121,6 +153,41 @@ def streaming_blur_plane(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarra
     # Vertical pass via line buffer: out_v[y] needs rows y-radius..y+radius,
     # so row y is emitted once row y+radius has been inserted.  Replicated
     # borders are modeled by clamping the source row index.
+    linebuf = LineBuffer(rows=taps, width=width)
+    for prefill in range(-radius, radius):
+        linebuf.fill_row(plane[_clamp(prefill, height)])
+
+    out = np.empty_like(plane)
+    padded = np.empty(width + 2 * radius, dtype=np.float64)
+    for y in range(height):
+        linebuf.fill_row(plane[_clamp(y + radius, height)])
+        vertical = coeffs @ linebuf.rows_in_order()
+        padded[radius : radius + width] = vertical
+        padded[:radius] = vertical[0]
+        padded[radius + width :] = vertical[-1]
+        windows = np.lib.stride_tricks.sliding_window_view(padded, taps)
+        out[y] = windows @ coeffs
+    return out
+
+
+def streaming_blur_plane_scalar(
+    plane: np.ndarray, kernel: GaussianKernel
+) -> np.ndarray:
+    """The literal one-pixel-per-step streaming dataflow.
+
+    Each incoming row enters the line buffer; the vertical convolution
+    reads one line-buffer column; its result shifts into the horizontal
+    window whose dot product is the output pixel.  This is O(K) Python
+    work per pixel; use it on small planes (tests, demos).
+    :func:`streaming_blur_plane` is the fast path.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ToneMapError(f"expected a 2-D plane, got shape {plane.shape}")
+    height, width = plane.shape
+    taps, radius = kernel.taps, kernel.radius
+    coeffs = kernel.coefficients
+
     linebuf = LineBuffer(rows=taps, width=width)
     for prefill in range(-radius, radius):
         linebuf.fill_row(plane[_clamp(prefill, height)])

@@ -8,9 +8,16 @@ Subcommands map one-to-one to the paper's artifacts::
     repro-experiments profile             # the SDSoC profiling step
     repro-experiments report NAME         # HLS report of one variant
     repro-experiments all [-o DIR]        # everything
+    repro-experiments batch [...]         # batched tone-mapping throughput
 
 ``--size`` shrinks the Fig. 5 image for quick runs (timing experiments
 are analytic and unaffected).
+
+``batch`` is the serving-path entry point: it tone-maps N images (a
+directory of .pfm/.ppm files, or synthetic scenes) through the batched
+:class:`repro.runtime.BatchToneMapper` on a
+:class:`repro.runtime.ToneMapService` thread pool and reports aggregate
+pixels/second.
 """
 
 from __future__ import annotations
@@ -66,7 +73,103 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output-dir", type=Path, default=None,
         help="write Fig. 5 image files here",
     )
+    batch = sub.add_parser(
+        "batch", help="batched tone-mapping throughput (the serving path)"
+    )
+    batch.add_argument(
+        "--images", type=Path, default=None,
+        help="directory of .pfm/.ppm HDR inputs (default: synthetic scenes)",
+    )
+    batch.add_argument(
+        "--count", type=int, default=8,
+        help="number of synthetic images when no --images dir (default 8)",
+    )
+    batch.add_argument(
+        "--scene", default="window_interior",
+        help="synthetic scene name (see repro.image.synthetic.SCENE_BUILDERS)",
+    )
+    batch.add_argument(
+        "--batch-size", type=int, default=8,
+        help="images per batched pipeline run (default 8)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width (default: executor default)",
+    )
+    batch.add_argument(
+        "--fixed", action="store_true",
+        help="use the bit-accurate 16-bit fixed-point blur",
+    )
+    batch.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="write tone-mapped outputs here as .ppm",
+    )
     return parser
+
+
+def _batch_images(args) -> list:
+    """Inputs for the ``batch`` command: a directory or synthetic scenes."""
+    from repro.image.hdr import HDRImage
+    from repro.image.pfm import read_pfm
+    from repro.image.ppm import read_ppm
+    from repro.image.synthetic import SceneParams, make_scene
+
+    if args.images is not None:
+        if not args.images.is_dir():
+            raise SystemExit(f"--images path {args.images} is not a directory")
+        images = []
+        for path in sorted(args.images.iterdir()):
+            if path.suffix.lower() == ".pfm":
+                images.append(read_pfm(path))
+            elif path.suffix.lower() in (".ppm", ".pgm"):
+                images.append(HDRImage(read_ppm(path), name=path.stem))
+        if not images:
+            raise SystemExit(f"no .pfm/.ppm/.pgm images found in {args.images}")
+        return images
+    return [
+        make_scene(args.scene, SceneParams(
+            height=args.size, width=args.size, seed=2018 + i,
+        ))
+        for i in range(args.count)
+    ]
+
+
+def run_batch(args) -> None:
+    """The ``batch`` subcommand: tone-map N images, report throughput."""
+    import time
+
+    from repro.image.ppm import write_ppm
+    from repro.runtime import ToneMapService
+    from repro.tonemap.fixed_blur import make_fixed_blur_fn
+    from repro.tonemap.pipeline import ToneMapParams
+
+    images = _batch_images(args)
+    blur_fn = make_fixed_blur_fn() if args.fixed else None
+    params = ToneMapParams(blur_fn=blur_fn)
+    start = time.perf_counter()
+    with ToneMapService(
+        params, max_workers=args.workers, batch_size=args.batch_size
+    ) as service:
+        outputs = service.map_many(images)
+        stats = service.stats
+    elapsed = time.perf_counter() - start
+
+    blur_name = "fixed-point 16-bit" if args.fixed else "float (auto path)"
+    print("BATCH TONE-MAPPING")
+    print(f"  images        : {stats.images}")
+    print(f"  pixels        : {stats.pixels}")
+    print(f"  blur          : {blur_name}")
+    print(f"  batch size    : {args.batch_size}")
+    print(f"  wall time     : {elapsed:.3f} s")
+    print(f"  throughput    : {stats.pixels / elapsed:,.0f} pixels/sec")
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        for index, output in enumerate(outputs):
+            name = output.name.replace(":", "_")
+            write_ppm(
+                output.pixels, args.output_dir / f"{index:04d}_{name}.ppm"
+            )
+        print(f"  outputs written to {args.output_dir}/")
 
 
 def main(argv=None) -> int:
@@ -108,6 +211,8 @@ def main(argv=None) -> int:
     elif args.command == "report":
         result = flow.run_variant(args.variant)
         print(result.hls_design.report())
+    elif args.command == "batch":
+        run_batch(args)
     elif args.command == "all":
         suite = run_all_experiments(
             flow, image_size=args.size, output_dir=args.output_dir

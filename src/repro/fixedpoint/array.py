@@ -147,14 +147,28 @@ class FixedArray:
         return raw_to_float(self._raw, self._fmt)
 
     def cast(self, fmt: FixedFormat) -> "FixedArray":
-        """Re-quantize every element into *fmt*."""
+        """Re-quantize every element into *fmt*.
+
+        Narrowing in the TRN and RND modes stays in pure integer
+        arithmetic — an arithmetic right shift is exactly ``floor(x/2^s)``
+        and ``(x + 2^(s-1)) >> s`` is exactly ``floor(x/2^s + 1/2)`` — so
+        the blur hot path never round-trips raws through float64.  The
+        remaining modes (and extreme shifts) use the float64 intermediate,
+        exact for word lengths up to 52 bits.
+        """
         shift = fmt.frac_length - self._fmt.frac_length
         if shift >= 0:
             _check_width(self._fmt.word_length + shift)
             raw = self._raw << np.int64(shift)
         else:
-            scaled = self._raw.astype(np.float64) * (2.0 ** shift)
-            raw = _quantize_scaled_array(scaled, fmt.quant)
+            s = -shift
+            if fmt.quant is Quant.TRN and s < 63:
+                raw = self._raw >> np.int64(s)
+            elif fmt.quant is Quant.RND and s < 62 and self._fmt.word_length < 62:
+                raw = (self._raw + (np.int64(1) << np.int64(s - 1))) >> np.int64(s)
+            else:
+                scaled = self._raw.astype(np.float64) * (2.0 ** shift)
+                raw = _quantize_scaled_array(scaled, fmt.quant)
         return FixedArray(_overflow_array(raw, fmt), fmt)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,27 @@
+"""Batched / concurrent tone-mapping runtime.
+
+The paper accelerates one image at a time; a production deployment serves
+many.  This package adds the software side of that story:
+
+* :class:`~repro.runtime.batch.BatchToneMapper` — stacks N same-shape
+  images into one ``(N, H, W)`` luminance volume and runs all four
+  pipeline stages as whole-batch array operations, amortizing every pass
+  (and the blur FFTs) across the batch.
+* :class:`~repro.runtime.service.ToneMapService` — a thread-pool front
+  end that groups incoming images by shape, feeds them through batch
+  mappers, caches per-kernel coefficients/formats, and reports aggregate
+  throughput.
+
+Wired into the CLI as ``repro-experiments batch`` and demonstrated by
+``examples/batch_throughput.py``.
+"""
+
+from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
+from repro.runtime.service import ServiceStats, ToneMapService
+
+__all__ = [
+    "BatchToneMapper",
+    "BatchToneMapResult",
+    "ServiceStats",
+    "ToneMapService",
+]

@@ -1,0 +1,165 @@
+"""Whole-batch execution of the four-stage tone-mapping pipeline.
+
+:class:`BatchToneMapper` is the batched counterpart of
+:class:`repro.tonemap.pipeline.ToneMapper`: N same-shape images are
+stacked into one array and every stage — normalization, Gaussian blur of
+the luminance volume, non-linear masking, brightness/contrast — runs as a
+single vectorized operation over the whole stack.  The arithmetic mirrors
+the per-image pipeline step for step (including the float32 storage
+round-trip at the normalization boundary), so batched outputs match
+per-image outputs to float32 representation tolerance (property-tested in
+``tests/test_runtime.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ToneMapError
+from repro.image.color import LUMA_WEIGHTS
+from repro.image.hdr import HDRImage
+from repro.tonemap.adjust import adjust_brightness_contrast
+from repro.tonemap.gaussian import blur_batch
+from repro.tonemap.masking import masking_exponent
+from repro.tonemap.pipeline import ToneMapParams
+
+#: Byte budget of float64 image data per stacked sub-batch (see
+#: ``BatchToneMapper.run``); sized like
+#: :data:`repro.tonemap.gaussian.BATCH_CHUNK_BYTES` to keep a sub-batch's
+#: element-wise stages resident in last-level cache.
+_STAGE_CHUNK_BYTES = 1 << 22
+
+
+@dataclass(frozen=True)
+class BatchToneMapResult:
+    """Outputs of one batched run.
+
+    Attributes
+    ----------
+    outputs:
+        Tone-mapped images, in input order.
+    masks:
+        The blurred luminance volume, shape ``(N, H, W)`` (kept so quality
+        experiments can compare mask implementations batch-wise).
+    pixels:
+        Total pixels processed, ``N * H * W``.
+    """
+
+    outputs: tuple[HDRImage, ...]
+    masks: np.ndarray
+    pixels: int
+
+
+class BatchToneMapper:
+    """Runs the tone-mapping pipeline on stacks of same-shape images.
+
+    Parameters
+    ----------
+    params:
+        Pipeline parameters, shared by every image in a batch.  A custom
+        ``blur_fn`` (e.g. the fixed-point accelerator model) is applied
+        plane-by-plane; the default float path uses the fully batched
+        :func:`repro.tonemap.gaussian.blur_batch`.
+    """
+
+    def __init__(self, params: ToneMapParams = ToneMapParams()):
+        self.params = params
+        self._kernel = params.kernel()
+
+    @property
+    def kernel(self):
+        """The Gaussian kernel used by the blur stage."""
+        return self._kernel
+
+    def run(self, images: Sequence[HDRImage]) -> BatchToneMapResult:
+        """Tone-map a batch of same-shape images and return every output."""
+        if len(images) == 0:
+            raise ToneMapError("batch must contain at least one image")
+        for image in images:
+            if not isinstance(image, HDRImage):
+                raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        shape = images[0].pixels.shape
+        for image in images[1:]:
+            if image.pixels.shape != shape:
+                raise ToneMapError(
+                    f"batch images must share one shape; got {shape} and "
+                    f"{image.pixels.shape} (group by shape first, as "
+                    "ToneMapService does)"
+                )
+
+        # The stack is processed in cache-sized sub-batches of whole
+        # images: the stage arithmetic is identical either way (every
+        # operation is per-pixel or per-plane), but streaming a bounded
+        # working set through steps 1-4 keeps the element-wise stages in
+        # last-level cache instead of thrashing N full-stack temporaries.
+        height, width = shape[0], shape[1]
+        image_bytes = int(np.prod(shape)) * 8
+        chunk = max(1, _STAGE_CHUNK_BYTES // image_bytes)
+        count = len(images)
+        masks = np.empty((count, height, width), dtype=np.float64)
+        outputs: list[HDRImage] = []
+        for lo in range(0, count, chunk):
+            sub = images[lo : lo + chunk]
+            out_chunk = self._run_stack(
+                np.stack([image.pixels for image in sub]),
+                masks[lo : lo + len(sub)],
+            )
+            outputs.extend(
+                HDRImage(out_chunk[i], name=f"{sub[i].name}:tonemapped")
+                for i in range(len(sub))
+            )
+        return BatchToneMapResult(
+            outputs=tuple(outputs),
+            masks=masks,
+            pixels=count * height * width,
+        )
+
+    def _run_stack(self, stack32: np.ndarray, masks_out: np.ndarray) -> np.ndarray:
+        """All four stages over one stacked sub-batch; returns the outputs."""
+        # Step 1: normalization against each image's maximum, in float32
+        # exactly as HDRImage.normalized computes and stores it (black
+        # images have nothing to scale and pass through).
+        reduce_axes = tuple(range(1, stack32.ndim))
+        peaks = np.amax(stack32, axis=reduce_axes, keepdims=True)
+        normalized32 = stack32 / np.where(peaks == 0.0, np.float32(1.0), peaks)
+        normalized = normalized32.astype(np.float64)
+
+        # Step 2: Gaussian blur of the luminance volume -> the masks.
+        if normalized.ndim == 4:
+            luminance = normalized @ LUMA_WEIGHTS
+        else:
+            luminance = normalized
+        blur_fn = self.params.blur_fn
+        if blur_fn is None:
+            masks = blur_batch(luminance, self._kernel)
+        else:
+            masks = np.stack(
+                [blur_fn(plane, self._kernel) for plane in luminance]
+            )
+        np.clip(
+            np.asarray(masks, dtype=np.float64), 0.0, 1.0, out=masks_out
+        )
+
+        # Step 3: non-linear masking (per-pixel gamma correction), the
+        # batched form of repro.tonemap.masking.nonlinear_masking, run in
+        # place on one buffer.
+        masking = self.params.masking
+        exponent = masking_exponent(masks_out, masking)
+        if normalized.ndim == 4:
+            exponent = exponent[..., np.newaxis]
+        out = np.clip(normalized, masking.epsilon, 1.0)
+        np.power(out, exponent, out=out)
+        # Pixels at (or below) the epsilon floor are true blacks: keep 0.
+        out[normalized <= masking.epsilon] = 0.0
+
+        # Step 4: brightness and contrast adjustment (the shared function
+        # is shape-agnostic; its temporaries are chunk-sized, so reuse
+        # beats re-deriving the formula here).
+        return adjust_brightness_contrast(out, self.params.adjust)
+
+    def map(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+        """Convenience: batched run returning only the output images."""
+        return self.run(images).outputs

@@ -1,0 +1,157 @@
+"""A thread-pool tone-mapping service over :class:`BatchToneMapper`.
+
+:class:`ToneMapService` is the serving layer the ROADMAP's north star asks
+for: callers hand it images (any mix of shapes), it groups them by shape,
+chops each group into batches, runs the batches on a thread pool, and
+keeps aggregate throughput statistics.  Heavy NumPy stages release the
+GIL, so the pool overlaps real work.
+
+Per-kernel state — the Gaussian coefficient array and, for fixed-point
+blur functions, the quantized coefficient ROM — is cached: the kernel is
+built once per parameter set (coefficients are precomputed on the frozen
+:class:`~repro.tonemap.gaussian.GaussianKernel`), and
+``FixedBlurConfig.quantized_coefficients`` memoizes per (config, kernel).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ToneMapError
+from repro.image.hdr import HDRImage
+from repro.runtime.batch import BatchToneMapper
+from repro.tonemap.pipeline import ToneMapParams
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate counters of a service instance.
+
+    Attributes
+    ----------
+    images:
+        Images tone-mapped so far.
+    pixels:
+        Pixels tone-mapped so far (``H * W`` per image).
+    seconds:
+        Total wall-clock seconds spent inside batch runs (summed across
+        workers, so it can exceed elapsed time under concurrency).
+    """
+
+    images: int = 0
+    pixels: int = 0
+    seconds: float = 0.0
+
+    @property
+    def pixels_per_sec(self) -> float:
+        """Aggregate throughput; 0 before any work completes."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.pixels / self.seconds
+
+
+class ToneMapService:
+    """Batched, thread-pooled tone mapping with per-kernel caches.
+
+    Parameters
+    ----------
+    params:
+        Pipeline parameters applied to every image.
+    max_workers:
+        Thread-pool width (``None`` = executor default).
+    batch_size:
+        Maximum images per batched run; larger batches amortize array
+        passes better, smaller ones spread across more workers.
+
+    Use as a context manager or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        params: ToneMapParams = ToneMapParams(),
+        max_workers: Optional[int] = None,
+        batch_size: int = 8,
+    ):
+        if batch_size < 1:
+            raise ToneMapError(f"batch_size must be >= 1, got {batch_size}")
+        self.params = params
+        self.batch_size = batch_size
+        self._mapper = BatchToneMapper(params)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="tonemap"
+        )
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_batch(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+        start = time.perf_counter()
+        result = self._mapper.run(images)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._stats = ServiceStats(
+                images=self._stats.images + len(images),
+                pixels=self._stats.pixels + result.pixels,
+                seconds=self._stats.seconds + elapsed,
+            )
+        return result.outputs
+
+    def submit(self, image: HDRImage) -> "Future[HDRImage]":
+        """Queue a single image; resolves to its tone-mapped output."""
+        return self._executor.submit(lambda: self._run_batch([image])[0])
+
+    def map_many(self, images: Sequence[HDRImage]) -> list[HDRImage]:
+        """Tone-map many images, preserving input order.
+
+        Images are grouped by shape (a batch must be rectangular), each
+        group is chopped into ``batch_size`` chunks, and the chunks run
+        concurrently on the pool.
+        """
+        images = list(images)
+        if not images:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for index, image in enumerate(images):
+            if not isinstance(image, HDRImage):
+                raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+            groups.setdefault(image.pixels.shape, []).append(index)
+
+        futures: list[tuple[list[int], Future]] = []
+        for indices in groups.values():
+            for lo in range(0, len(indices), self.batch_size):
+                chunk = indices[lo : lo + self.batch_size]
+                batch = [images[i] for i in chunk]
+                futures.append(
+                    (chunk, self._executor.submit(self._run_batch, batch))
+                )
+
+        outputs: list[Optional[HDRImage]] = [None] * len(images)
+        for chunk, future in futures:
+            for position, output in zip(chunk, future.result()):
+                outputs[position] = output
+        return outputs  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot of the aggregate counters."""
+        with self._lock:
+            return self._stats
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for queued work."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ToneMapService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -23,6 +23,7 @@ comparison (66 dB / 1.0) measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 import math
 
 import numpy as np
@@ -88,22 +89,33 @@ class FixedBlurConfig:
 
         With ``renormalize_coefficients`` the centre tap absorbs the
         rounding residue so the raw sum equals ``2**F`` exactly (gain 1).
+        Cached per ``(config, kernel)`` — both are frozen value types —
+        so batch/service runs quantize the ROM once; the returned array is
+        read-only.
         """
-        coeffs = kernel.coefficients
-        fixed = FixedArray.from_float(coeffs, self.coeff_fmt)
-        raws = fixed.raw.copy()
-        if self.renormalize_coefficients:
-            target = 1 << self.coeff_fmt.frac_length
-            residue = target - int(raws.sum())
-            centre = kernel.radius
-            adjusted = int(raws[centre]) + residue
-            if not (self.coeff_fmt.raw_min <= adjusted <= self.coeff_fmt.raw_max):
-                raise ToneMapError(
-                    "coefficient renormalization overflows the centre tap; "
-                    "use a wider coeff_fmt or disable renormalization"
-                )
-            raws[centre] = adjusted
-        return raws
+        return _quantized_coefficients_cached(self, kernel)
+
+
+@lru_cache(maxsize=64)
+def _quantized_coefficients_cached(
+    config: FixedBlurConfig, kernel: GaussianKernel
+) -> np.ndarray:
+    coeffs = kernel.coefficients
+    fixed = FixedArray.from_float(coeffs, config.coeff_fmt)
+    raws = fixed.raw.copy()
+    if config.renormalize_coefficients:
+        target = 1 << config.coeff_fmt.frac_length
+        residue = target - int(raws.sum())
+        centre = kernel.radius
+        adjusted = int(raws[centre]) + residue
+        if not (config.coeff_fmt.raw_min <= adjusted <= config.coeff_fmt.raw_max):
+            raise ToneMapError(
+                "coefficient renormalization overflows the centre tap; "
+                "use a wider coeff_fmt or disable renormalization"
+            )
+        raws[centre] = adjusted
+    raws.setflags(write=False)
+    return raws
 
 
 def _fixed_pass_rows(
@@ -113,14 +125,44 @@ def _fixed_pass_rows(
 
     Accumulates exact integer products then re-quantizes each output pixel
     back to ``data_fmt`` (what the hardware writes to its line buffer).
+
+    Symmetric kernels take the folded path: mirrored taps share a raw
+    coefficient, so the two shifted planes are added *before* the single
+    multiply.  Integer addition is exact and commutes, and the one
+    requantization happens after the full accumulation either way, so the
+    folded pass is bit-exact against the per-tap loop (asserted in
+    ``tests/test_blur_fastpaths.py``) while halving the multiply passes.
+    Accumulators are preallocated once per pass instead of materializing a
+    fresh product array per tap.
     """
     taps = coeff_raws.size
     radius = (taps - 1) // 2
     padded = np.pad(raw, ((0, 0), (radius, radius)), mode="edge")
     width = raw.shape[1]
-    acc = np.zeros_like(raw, dtype=np.int64)
-    for k in range(taps):
-        acc += np.int64(coeff_raws[k]) * padded[:, k : k + width]
+    acc = np.empty_like(raw, dtype=np.int64)
+    if taps > 1 and taps % 2 == 1 and np.array_equal(coeff_raws, coeff_raws[::-1]):
+        np.multiply(
+            padded[:, radius : radius + width], np.int64(coeff_raws[radius]),
+            out=acc,
+        )
+        pair = np.empty_like(acc)
+        for k in range(radius):
+            mirror = 2 * radius - k
+            np.add(
+                padded[:, k : k + width],
+                padded[:, mirror : mirror + width],
+                out=pair,
+            )
+            pair *= np.int64(coeff_raws[k])
+            acc += pair
+    else:
+        np.multiply(padded[:, 0:width], np.int64(coeff_raws[0]), out=acc)
+        term = np.empty_like(acc)
+        for k in range(1, taps):
+            np.multiply(
+                padded[:, k : k + width], np.int64(coeff_raws[k]), out=term
+            )
+            acc += term
     acc_fmt = config.accumulator_fmt(taps)
     return FixedArray(acc, acc_fmt).cast(config.data_fmt).raw
 

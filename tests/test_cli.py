@@ -28,6 +28,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.command == "batch"
+        assert args.count == 8
+        assert args.images is None
+        assert not args.fixed
+
+    def test_batch_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["batch", "--count", "3", "--batch-size", "2", "--fixed",
+             "--images", str(tmp_path), "-o", str(tmp_path)]
+        )
+        assert args.count == 3
+        assert args.batch_size == 2
+        assert args.fixed
+        assert args.images == tmp_path
+        assert args.output_dir == tmp_path
+
 
 class TestMain:
     def test_table2(self, capsys):
@@ -86,6 +104,42 @@ class TestMain:
         out = capsys.readouterr().out
         assert "ROBUSTNESS" in out
         assert "starfield" in out
+
+    def test_batch_synthetic(self, capsys, tmp_path):
+        assert main(
+            ["--size", "32", "batch", "--count", "3", "--batch-size", "2",
+             "-o", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BATCH TONE-MAPPING" in out
+        assert "pixels/sec" in out
+        assert len(list(tmp_path.glob("*.ppm"))) == 3
+
+    def test_batch_fixed_blur(self, capsys):
+        assert main(["--size", "32", "batch", "--count", "2", "--fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-point 16-bit" in out
+
+    def test_batch_image_directory(self, capsys, tmp_path):
+        from repro.image.pfm import write_pfm
+        from repro.image.synthetic import SceneParams, make_scene
+
+        for i in range(2):
+            image = make_scene(
+                "gradient", SceneParams(height=32, width=32, seed=i)
+            )
+            write_pfm(image, tmp_path / f"scene{i}.pfm")
+        assert main(["batch", "--images", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "images        : 2" in out
+
+    def test_batch_empty_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "--images", str(tmp_path)])
+
+    def test_batch_missing_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "--images", str(tmp_path / "no_such_dir")])
 
     def test_all_small(self, capsys):
         assert main(["--size", "64", "all"]) == 0

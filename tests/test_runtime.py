@@ -1,0 +1,144 @@
+"""Tests for repro.runtime (BatchToneMapper + ToneMapService)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToneMapError
+from repro.image.hdr import HDRImage
+from repro.image.synthetic import SceneParams, make_scene
+from repro.runtime import BatchToneMapper, ServiceStats, ToneMapService
+from repro.tonemap.fixed_blur import make_fixed_blur_fn
+from repro.tonemap.pipeline import ToneMapParams, ToneMapper
+
+PARAMS = ToneMapParams(sigma=2.0, radius=6)
+
+
+def scenes(count, size=32, color=True):
+    return [
+        make_scene(
+            "window_interior",
+            SceneParams(height=size, width=size, seed=100 + i, color=color),
+        )
+        for i in range(count)
+    ]
+
+
+class TestBatchToneMapper:
+    @pytest.mark.parametrize("color", [True, False], ids=["rgb", "gray"])
+    def test_matches_per_image_pipeline(self, color):
+        images = scenes(3, color=color)
+        batch = BatchToneMapper(PARAMS).run(images)
+        single = ToneMapper(PARAMS)
+        for image, output, mask in zip(images, batch.outputs, batch.masks):
+            reference = single.run(image)
+            np.testing.assert_allclose(mask, reference.mask, atol=1e-6)
+            np.testing.assert_allclose(
+                output.pixels, reference.output.pixels, atol=1e-5
+            )
+
+    def test_fixed_point_blur_fn_matches_per_image(self):
+        params = ToneMapParams(
+            sigma=2.0, radius=6, blur_fn=make_fixed_blur_fn()
+        )
+        images = scenes(2)
+        batch = BatchToneMapper(params).run(images)
+        single = ToneMapper(params)
+        for image, output in zip(images, batch.outputs):
+            np.testing.assert_allclose(
+                output.pixels, single.run(image).output.pixels, atol=1e-5
+            )
+
+    def test_output_metadata(self):
+        images = scenes(2, size=16)
+        result = BatchToneMapper(PARAMS).run(images)
+        assert result.pixels == 2 * 16 * 16
+        assert result.masks.shape == (2, 16, 16)
+        assert [o.name for o in result.outputs] == [
+            f"{img.name}:tonemapped" for img in images
+        ]
+
+    def test_map_convenience(self):
+        images = scenes(2, size=16)
+        outputs = BatchToneMapper(PARAMS).map(images)
+        assert len(outputs) == 2
+        assert all(isinstance(o, HDRImage) for o in outputs)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ToneMapError):
+            BatchToneMapper(PARAMS).run([])
+
+    def test_mixed_shapes_rejected(self):
+        images = scenes(1, size=16) + scenes(1, size=32)
+        with pytest.raises(ToneMapError):
+            BatchToneMapper(PARAMS).run(images)
+
+    def test_non_image_rejected(self):
+        with pytest.raises(ToneMapError):
+            BatchToneMapper(PARAMS).run([np.zeros((8, 8))])
+
+    def test_black_image_passes_through(self):
+        black = HDRImage(np.zeros((16, 16)), name="black")
+        result = BatchToneMapper(PARAMS).run([black])
+        np.testing.assert_array_equal(result.outputs[0].pixels, 0.0)
+
+
+class TestToneMapService:
+    def test_map_many_matches_batch(self):
+        images = scenes(5, size=16)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            outputs = service.map_many(images)
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_mixed_shapes_grouped(self):
+        images = scenes(2, size=16) + scenes(2, size=24) + scenes(1, size=16)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            outputs = service.map_many(images)
+        single = ToneMapper(PARAMS)
+        assert len(outputs) == len(images)
+        for image, output in zip(images, outputs):
+            assert output.pixels.shape == image.pixels.shape
+            np.testing.assert_allclose(
+                output.pixels, single.run(image).output.pixels, atol=1e-5
+            )
+
+    def test_submit_single(self):
+        image = scenes(1, size=16)[0]
+        with ToneMapService(PARAMS) as service:
+            future = service.submit(image)
+            output = future.result(timeout=30)
+        np.testing.assert_array_equal(
+            output.pixels, BatchToneMapper(PARAMS).map([image])[0].pixels
+        )
+
+    def test_submit_propagates_errors(self):
+        with ToneMapService(PARAMS) as service:
+            future = service.submit("not an image")
+            with pytest.raises(ToneMapError):
+                future.result(timeout=30)
+
+    def test_stats_accumulate(self):
+        images = scenes(4, size=16)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            assert service.stats == ServiceStats()
+            assert service.stats.pixels_per_sec == 0.0
+            service.map_many(images)
+            stats = service.stats
+        assert stats.images == 4
+        assert stats.pixels == 4 * 16 * 16
+        assert stats.seconds > 0.0
+        assert stats.pixels_per_sec > 0.0
+
+    def test_empty_input(self):
+        with ToneMapService(PARAMS) as service:
+            assert service.map_many([]) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ToneMapError):
+            ToneMapService(PARAMS, batch_size=0)
+
+    def test_non_image_rejected_before_submit(self):
+        with ToneMapService(PARAMS) as service:
+            with pytest.raises(ToneMapError):
+                service.map_many([np.zeros((4, 4))])
