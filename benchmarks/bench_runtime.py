@@ -1,0 +1,142 @@
+"""Serving-runtime benchmarks: the perf trajectory of `repro.runtime`.
+
+Per-image baseline vs whole-stack batching vs the thread-pooled service,
+the batched vs per-plane fixed-point blur, and a process-sharded case.
+Every case records ``pixels_per_sec`` in ``extra_info`` (see
+``docs/benchmarks.md`` for how the trajectory is tracked):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py \
+        --benchmark-only --benchmark-json=runtime.json
+
+Quick smoke (CI): ``-k "small or exact" --benchmark-disable`` executes
+the small cases once each plus the sharded bit-exactness assertion.
+
+Sharded cases record throughput but assert only output equality — a
+wall-clock speedup assertion would be a test of the host's core count,
+not of this code (single-core runners see only the sharding overhead).
+"""
+
+import numpy as np
+import pytest
+
+from repro.image.synthetic import SceneParams, make_scene
+from repro.runtime import BatchToneMapper, ShardPool, ToneMapService
+from repro.tonemap.fixed_blur import (
+    FixedBlurConfig,
+    fixed_point_blur_batch,
+    fixed_point_blur_plane,
+)
+from repro.tonemap.gaussian import GaussianKernel
+from repro.tonemap.pipeline import ToneMapParams, ToneMapper
+
+#: (label, frame size, frame count) of the serving workloads.
+CASES = {"small": (128, 6), "large": (384, 8)}
+PARAMS = ToneMapParams(sigma=4.0)
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def workload(request):
+    size, count = CASES[request.param]
+    images = [
+        make_scene(
+            "window_interior",
+            SceneParams(height=size, width=size, seed=7 + i, color=False),
+        )
+        for i in range(count)
+    ]
+    return request.param, images, count * size * size
+
+
+def _serve(benchmark, fn, workload, rounds=3):
+    label, images, pixels = workload
+    benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["pixels"] = pixels
+        benchmark.extra_info["images"] = len(images)
+        benchmark.extra_info["pixels_per_sec"] = (
+            pixels / benchmark.stats.stats.min
+        )
+
+
+def test_per_image_baseline(benchmark, workload):
+    _, images, _ = workload
+    mapper = ToneMapper(PARAMS)
+
+    def run():
+        for image in images:
+            mapper.run(image)
+
+    _serve(benchmark, run, workload)
+
+
+def test_batch_mapper(benchmark, workload):
+    _, images, _ = workload
+    mapper = BatchToneMapper(PARAMS)
+    _serve(benchmark, lambda: mapper.run(images), workload)
+
+
+def test_service_threads(benchmark, workload):
+    _, images, _ = workload
+    with ToneMapService(PARAMS, batch_size=4) as service:
+        _serve(benchmark, lambda: service.map_many(images), workload)
+
+
+def test_service_sharded(benchmark, workload):
+    _, images, _ = workload
+    with ToneMapService(PARAMS, batch_size=4, shards=2) as service:
+        _serve(benchmark, lambda: service.map_many(images), workload)
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_fixed_blur_per_plane(benchmark, label):
+    size, count = CASES[label]
+    stack = np.random.default_rng(3).uniform(0.0, 1.0, (count, size, size))
+    kernel = GaussianKernel(sigma=4.0)
+
+    def run():
+        return [fixed_point_blur_plane(plane, kernel) for plane in stack]
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    if benchmark.stats is not None:
+        benchmark.extra_info["pixels_per_sec"] = (
+            stack.size / benchmark.stats.stats.min
+        )
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_fixed_blur_batched(benchmark, label):
+    size, count = CASES[label]
+    stack = np.random.default_rng(3).uniform(0.0, 1.0, (count, size, size))
+    kernel = GaussianKernel(sigma=4.0)
+    benchmark.pedantic(
+        lambda: fixed_point_blur_batch(stack, kernel),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    if benchmark.stats is not None:
+        benchmark.extra_info["pixels_per_sec"] = (
+            stack.size / benchmark.stats.stats.min
+        )
+
+
+def test_sharded_outputs_exact():
+    """The sharded acceptance bar: bit-identical outputs, fixed point too.
+
+    A plain (non-benchmark-fixture) test so it also runs under
+    ``--benchmark-disable`` in the CI smoke job.
+    """
+    images = [
+        make_scene(
+            "window_interior",
+            SceneParams(height=64, width=64, seed=11 + i),
+        )
+        for i in range(4)
+    ]
+    config = FixedBlurConfig()
+    with ToneMapService(
+        PARAMS, batch_size=2, shards=2, fixed_config=config
+    ) as sharded:
+        got = sharded.map_many(images)
+    with ToneMapService(PARAMS, batch_size=2, fixed_config=config) as local:
+        want = local.map_many(images)
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g.pixels, w.pixels)

@@ -1,13 +1,16 @@
 """Batched tone-mapping throughput demo.
 
 Builds a stack of synthetic HDR scenes and pushes them through the
-pipeline three ways:
+pipeline four ways:
 
 1. one image at a time through :class:`repro.tonemap.pipeline.ToneMapper`
    (the seed serving model);
 2. whole-batch through :class:`repro.runtime.BatchToneMapper`;
 3. batched *and* thread-pooled through
-   :class:`repro.runtime.ToneMapService`.
+   :class:`repro.runtime.ToneMapService`;
+4. streamed through :class:`repro.runtime.ToneMapIngestor` (deadline
+   coalescing, backpressure) onto a 2-process
+   :class:`repro.runtime.ShardPool`.
 
 Run with ``PYTHONPATH=src python examples/batch_throughput.py [size] [count]``.
 """
@@ -16,7 +19,7 @@ import sys
 import time
 
 from repro.image.synthetic import SceneParams, make_scene
-from repro.runtime import BatchToneMapper, ToneMapService
+from repro.runtime import BatchToneMapper, ToneMapIngestor, ToneMapService
 from repro.tonemap.pipeline import ToneMapParams, ToneMapper
 
 
@@ -57,6 +60,24 @@ def main() -> None:
     print(f"ToneMapService       : {pooled:6.2f} s  "
           f"{pixels / pooled / 1e6:6.2f} Mpix/s  "
           f"({sequential / pooled:.2f}x)")
+
+    # 4. streamed one image at a time through the async ingestion
+    #    front-end (deadline coalescing + bounded-queue backpressure) and
+    #    sharded across two worker processes.
+    start = time.perf_counter()
+    with ToneMapService(
+        params, batch_size=max(1, count // 4), shards=2
+    ) as service:
+        with ToneMapIngestor(
+            service, max_delay_ms=5.0, queue_limit=count
+        ) as ingestor:
+            ingestor.map_many(images)
+            stats = ingestor.stats
+    streamed = time.perf_counter() - start
+    print(f"Ingestor + 2 shards  : {streamed:6.2f} s  "
+          f"{pixels / streamed / 1e6:6.2f} Mpix/s  "
+          f"({sequential / streamed:.2f}x)  "
+          f"p95 latency {stats.latency_p95_ms:.0f} ms")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,12 @@ are analytic and unaffected).
 directory of .pfm/.ppm files, or synthetic scenes) through the batched
 :class:`repro.runtime.BatchToneMapper` on a
 :class:`repro.runtime.ToneMapService` thread pool and reports aggregate
-pixels/second.
+pixels/second.  ``--shards`` partitions every batch across worker
+processes; ``--max-delay-ms`` / ``--queue-limit`` / ``--policy`` stream
+the images through the :class:`repro.runtime.ToneMapIngestor` front-end
+(deadline coalescing + bounded-queue backpressure) instead of submitting
+them as one pre-grouped workload.  See ``docs/architecture.md`` for the
+full data path.
 """
 
 from __future__ import annotations
@@ -101,6 +106,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the bit-accurate 16-bit fixed-point blur",
     )
     batch.add_argument(
+        "--shards", type=int, default=None,
+        help="partition each batch across N worker processes "
+             "(shared-memory stacks; beats the GIL on the fixed-point glue)",
+    )
+    batch.add_argument(
+        "--max-delay-ms", type=float, default=None,
+        help="stream images through the ingestor, coalescing same-shape "
+             "arrivals into batches under this deadline",
+    )
+    batch.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="bounded admission queue for the streaming path "
+             "(images in flight; implies the ingestor)",
+    )
+    batch.add_argument(
+        "--policy", choices=("block", "reject", "shed-oldest"),
+        default="block",
+        help="backpressure policy when the queue is full (default block)",
+    )
+    batch.add_argument(
         "-o", "--output-dir", type=Path, default=None,
         help="write tone-mapped outputs here as .ppm",
     )
@@ -138,30 +163,74 @@ def run_batch(args) -> None:
     """The ``batch`` subcommand: tone-map N images, report throughput."""
     import time
 
+    from repro.errors import ServiceOverloadedError
     from repro.image.ppm import write_ppm
-    from repro.runtime import ToneMapService
-    from repro.tonemap.fixed_blur import make_fixed_blur_fn
+    from repro.runtime import ToneMapIngestor, ToneMapService
+    from repro.tonemap.fixed_blur import FixedBlurConfig
     from repro.tonemap.pipeline import ToneMapParams
 
     images = _batch_images(args)
-    blur_fn = make_fixed_blur_fn() if args.fixed else None
-    params = ToneMapParams(blur_fn=blur_fn)
+    fixed_config = FixedBlurConfig() if args.fixed else None
+    streaming = args.max_delay_ms is not None or args.queue_limit is not None
+    dropped = 0
     start = time.perf_counter()
     with ToneMapService(
-        params, max_workers=args.workers, batch_size=args.batch_size
+        ToneMapParams(),
+        max_workers=args.workers,
+        batch_size=args.batch_size,
+        shards=args.shards,
+        fixed_config=fixed_config,
     ) as service:
-        outputs = service.map_many(images)
-        stats = service.stats
+        if streaming:
+            with ToneMapIngestor(
+                service,
+                max_delay_ms=(
+                    5.0 if args.max_delay_ms is None else args.max_delay_ms
+                ),
+                queue_limit=(
+                    64 if args.queue_limit is None else args.queue_limit
+                ),
+                policy=args.policy,
+            ) as ingestor:
+                futures = []
+                for image in images:
+                    try:
+                        futures.append(ingestor.submit(image))
+                    except ServiceOverloadedError:
+                        dropped += 1
+                outputs = []
+                for future in futures:
+                    try:
+                        outputs.append(future.result())
+                    except ServiceOverloadedError:
+                        dropped += 1
+                stats = ingestor.stats
+        else:
+            outputs = service.map_many(images)
+            stats = service.stats
     elapsed = time.perf_counter() - start
 
     blur_name = "fixed-point 16-bit" if args.fixed else "float (auto path)"
+    mode = "streaming (ingestor)" if streaming else "pre-grouped"
     print("BATCH TONE-MAPPING")
     print(f"  images        : {stats.images}")
     print(f"  pixels        : {stats.pixels}")
     print(f"  blur          : {blur_name}")
+    print(f"  mode          : {mode}")
     print(f"  batch size    : {args.batch_size}")
+    print(f"  shards        : {args.shards or 1} process(es)")
     print(f"  wall time     : {elapsed:.3f} s")
     print(f"  throughput    : {stats.pixels / elapsed:,.0f} pixels/sec")
+    if streaming:
+        print(f"  queue peak    : {stats.queue_peak} "
+              f"(limit {64 if args.queue_limit is None else args.queue_limit}, "
+              f"policy {args.policy})")
+        print(f"  latency p50   : {stats.latency_p50_ms:.1f} ms   "
+              f"p95 {stats.latency_p95_ms:.1f} ms   "
+              f"p99 {stats.latency_p99_ms:.1f} ms")
+        if dropped:
+            print(f"  dropped       : {dropped} "
+                  f"(rejected {stats.rejected}, shed {stats.shed})")
     if args.output_dir is not None:
         args.output_dir.mkdir(parents=True, exist_ok=True)
         for index, output in enumerate(outputs):
@@ -199,11 +268,22 @@ def main(argv=None) -> int:
             print(series.render())
             print()
     elif args.command == "extensions":
-        from repro.experiments.extensions import overlap_study, video_throughput
+        from repro.experiments.extensions import (
+            overlap_study,
+            runtime_throughput,
+            video_throughput,
+        )
 
         print(overlap_study(flow).render())
         print()
-        print(video_throughput(flow).render())
+        # Measure the software runtime at a moderate frame size so the
+        # study stays interactive; the accelerator rows are analytic.
+        size = min(args.size, 256)
+        runtime_rows = [
+            runtime_throughput(size=size, frames=6),
+            runtime_throughput(size=size, frames=6, shards=2),
+        ]
+        print(video_throughput(flow, runtime=runtime_rows).render())
     elif args.command == "robustness":
         from repro.experiments.robustness import quality_robustness
 

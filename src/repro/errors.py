@@ -36,6 +36,16 @@ class ToneMapError(ReproError):
     """Invalid tone-mapping parameters."""
 
 
+class ServiceOverloadedError(ReproError):
+    """The serving queue is full and the admission policy refused the work.
+
+    Raised by the runtime's backpressure layer (``repro.runtime``): under
+    the ``reject`` policy the submitter gets this immediately; under
+    ``shed-oldest`` the oldest queued submission's future fails with it
+    when a newer arrival takes its slot.
+    """
+
+
 class HlsError(ReproError):
     """High-level-synthesis front-end or scheduling failure."""
 

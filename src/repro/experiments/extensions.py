@@ -1,6 +1,6 @@
 """Extension studies beyond the paper's evaluation.
 
-Two natural next steps the paper's setup invites but does not measure:
+Natural next steps the paper's setup invites but does not measure:
 
 * **Transfer/compute overlap** (:func:`overlap_study`) — the streaming
   kernel consumes pixels as the DMA delivers them, so with stream
@@ -12,12 +12,20 @@ Two natural next steps the paper's setup invites but does not measure:
   stages of frame *n+1* run while the PL blurs frame *n*, so the
   steady-state frame rate is set by the slower of the two sides, not by
   their sum.
+* **Measured software runtime** (:func:`runtime_throughput`) — the
+  analytic accelerator rates above are only meaningful next to what the
+  batched/sharded software runtime (``repro.runtime``) actually sustains
+  on the host: the same frame stream is pushed through a
+  :class:`~repro.runtime.service.ToneMapService` and the measured frames/s
+  is reported beside the model's, so the study answers "how many CPUs
+  worth of serving does the FPGA displace".
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import FlowError
 from repro.experiments.calibration import make_paper_flow
@@ -128,7 +136,77 @@ class ThroughputStudy:
         return "\n".join(lines)
 
 
-def video_throughput(flow: Optional[OptimizationFlow] = None) -> ThroughputStudy:
+def runtime_throughput(
+    size: int = 256,
+    frames: int = 8,
+    shards: Optional[int] = None,
+    batch_size: int = 4,
+    fixed: bool = False,
+) -> ThroughputResult:
+    """Measure the software runtime's sustained frames/s on this host.
+
+    Streams ``frames`` synthetic gray frames of ``size`` x ``size`` through
+    a :class:`~repro.runtime.service.ToneMapService` (sharded across
+    processes when ``shards`` is given) and compares against the seed
+    serving model — one frame at a time through
+    :class:`~repro.tonemap.pipeline.ToneMapper`.  Returned as a
+    :class:`ThroughputResult` so :func:`video_throughput` can list the
+    measured software rate next to the accelerator model's analytic rate:
+    ``fps_sequential`` is the per-frame baseline, ``fps_pipelined`` the
+    batched/sharded runtime.
+    """
+    from repro.image.synthetic import SceneParams, make_scene
+    from repro.runtime import ToneMapService
+    from repro.tonemap.fixed_blur import FixedBlurConfig
+    from repro.tonemap.pipeline import ToneMapParams, ToneMapper
+
+    params = ToneMapParams()
+    fixed_config = FixedBlurConfig() if fixed else None
+    images = [
+        make_scene(
+            "window_interior",
+            SceneParams(height=size, width=size, seed=2018 + i, color=False),
+        )
+        for i in range(frames)
+    ]
+
+    single_params = params
+    if fixed_config is not None:
+        from dataclasses import replace
+
+        from repro.tonemap.fixed_blur import make_fixed_blur_fn
+
+        single_params = replace(params, blur_fn=make_fixed_blur_fn(fixed_config))
+    mapper = ToneMapper(single_params)
+    start = time.perf_counter()
+    for image in images:
+        mapper.run(image)
+    baseline = time.perf_counter() - start
+
+    with ToneMapService(
+        params,
+        batch_size=batch_size,
+        shards=shards,
+        fixed_config=fixed_config,
+    ) as service:
+        start = time.perf_counter()
+        service.map_many(images)
+        elapsed = time.perf_counter() - start
+
+    label = "sw-batch" if shards is None else f"sw-shard{shards}"
+    blur = "fxp" if fixed else "float"
+    return ThroughputResult(
+        key=label,
+        fps_sequential=frames / baseline if baseline > 0 else 0.0,
+        fps_pipelined=frames / elapsed if elapsed > 0 else 0.0,
+        bound_by=f"host cpu (measured, {size}x{size} {blur})",
+    )
+
+
+def video_throughput(
+    flow: Optional[OptimizationFlow] = None,
+    runtime: Optional[Sequence[ThroughputResult]] = None,
+) -> ThroughputStudy:
     """Steady-state frame rate with and without frame-level pipelining.
 
     With double buffering, the PS stages (normalization, masking,
@@ -136,6 +214,12 @@ def video_throughput(flow: Optional[OptimizationFlow] = None) -> ThroughputStudy
     one: the steady-state period is ``max(ps_work, blur)`` instead of
     ``ps_work + blur``.  Software-only implementations cannot overlap
     (one CPU does everything).
+
+    ``runtime`` rows — typically from :func:`runtime_throughput` — are
+    appended to the study so the measured batched/sharded software
+    runtime's frames/s reads next to the accelerator model's (for a
+    runtime row, "single-buffer" is the per-frame baseline and
+    "double-buffer" the batched/sharded service).
     """
     flow = flow or make_paper_flow()
     results = []
@@ -165,4 +249,6 @@ def video_throughput(flow: Optional[OptimizationFlow] = None) -> ThroughputStudy
                 bound_by=bound,
             )
         )
+    if runtime:
+        results.extend(runtime)
     return ThroughputStudy(results=results)

@@ -1,27 +1,45 @@
-"""Batched / concurrent tone-mapping runtime.
+"""Batched / concurrent / sharded tone-mapping runtime.
 
 The paper accelerates one image at a time; a production deployment serves
-many.  This package adds the software side of that story:
+continuous streams.  This package adds the software side of that story as
+four composable stages (diagrammed in ``docs/architecture.md``):
 
 * :class:`~repro.runtime.batch.BatchToneMapper` — stacks N same-shape
-  images into one ``(N, H, W)`` luminance volume and runs all four
-  pipeline stages as whole-batch array operations, amortizing every pass
-  (and the blur FFTs) across the batch.
+  images into one ``(N, H, W)`` volume and runs all four pipeline stages
+  as whole-batch array operations, amortizing every pass (the blur FFTs,
+  and the batched fixed-point folded passes) across the batch.
+* :class:`~repro.runtime.shard.ShardPool` — partitions a batch across
+  worker processes over shared-memory pixel stacks, freeing the
+  fixed-point model's Python-level glue from the GIL; per-worker kernel
+  and coefficient-ROM caches are warmed at pool start-up.
 * :class:`~repro.runtime.service.ToneMapService` — a thread-pool front
   end that groups incoming images by shape, feeds them through batch
-  mappers, caches per-kernel coefficients/formats, and reports aggregate
-  throughput.
+  mappers (optionally sharded), and reports aggregate throughput as
+  :class:`~repro.runtime.service.ServiceStats`.
+* :class:`~repro.runtime.ingest.ToneMapIngestor` — the streaming edge:
+  continuous single-image arrivals (blocking or ``asyncio``), deadline
+  coalescing into batches, and bounded-queue admission control with
+  ``block`` / ``reject`` / ``shed-oldest``
+  :class:`~repro.runtime.ingest.BackpressurePolicy` choices.
 
-Wired into the CLI as ``repro-experiments batch`` and demonstrated by
-``examples/batch_throughput.py``.
+Wired into the CLI as ``repro-experiments batch`` (``--shards``,
+``--max-delay-ms``, ``--queue-limit``, ``--policy``) and demonstrated by
+``examples/batch_throughput.py``.  Throughput is tracked over time by
+``benchmarks/bench_runtime.py`` — see ``docs/benchmarks.md`` for how to
+run and read it.
 """
 
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
+from repro.runtime.ingest import BackpressurePolicy, ToneMapIngestor
 from repro.runtime.service import ServiceStats, ToneMapService
+from repro.runtime.shard import ShardPool
 
 __all__ = [
+    "BackpressurePolicy",
     "BatchToneMapper",
     "BatchToneMapResult",
     "ServiceStats",
+    "ShardPool",
+    "ToneMapIngestor",
     "ToneMapService",
 ]

@@ -9,6 +9,17 @@ the per-image pipeline step for step (including the float32 storage
 round-trip at the normalization boundary), so batched outputs match
 per-image outputs to float32 representation tolerance (property-tested in
 ``tests/test_runtime.py``).
+
+A custom ``blur_fn`` may expose a ``blur_batch`` attribute taking the
+whole ``(N, H, W)`` luminance volume (the closures built by
+:func:`repro.tonemap.fixed_blur.make_fixed_blur_fn` do); the mapper then
+blurs the stack in one call instead of looping plane-by-plane, which is
+how the bit-accurate fixed-point model keeps up with the float path in a
+batch.  :meth:`BatchToneMapper.run_stack` is the raw-array entry point
+used by the process-pool sharding backend
+(:class:`repro.runtime.ShardPool`), which hands each worker a
+shared-memory slab of the stacked pixels.  Throughput of both paths is
+tracked by ``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -136,9 +147,13 @@ class BatchToneMapper:
         if blur_fn is None:
             masks = blur_batch(luminance, self._kernel)
         else:
-            masks = np.stack(
-                [blur_fn(plane, self._kernel) for plane in luminance]
-            )
+            batch_fn = getattr(blur_fn, "blur_batch", None)
+            if batch_fn is not None:
+                masks = batch_fn(luminance, self._kernel)
+            else:
+                masks = np.stack(
+                    [blur_fn(plane, self._kernel) for plane in luminance]
+                )
         np.clip(
             np.asarray(masks, dtype=np.float64), 0.0, 1.0, out=masks_out
         )
@@ -159,6 +174,50 @@ class BatchToneMapper:
         # is shape-agnostic; its temporaries are chunk-sized, so reuse
         # beats re-deriving the formula here).
         return adjust_brightness_contrast(out, self.params.adjust)
+
+    def run_stack(
+        self, stack: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Tone-map a raw pixel stack, bypassing :class:`HDRImage` wrapping.
+
+        The raw-array twin of :meth:`run` for callers that already hold the
+        stacked pixels — most importantly :class:`repro.runtime.ShardPool`
+        workers, which receive an ``(N, H, W[, 3])`` shared-memory slab and
+        write results straight back into shared memory via ``out``.
+
+        Parameters
+        ----------
+        stack:
+            ``(N, H, W)`` gray or ``(N, H, W, 3)`` RGB pixel stack.  Cast
+            to float32 first (the :class:`HDRImage` storage type), so
+            outputs are bit-identical to :meth:`run` on the wrapped images.
+        out:
+            Optional preallocated output array of the same shape; the
+            float64 stage results are cast into its dtype on assignment.
+
+        Returns
+        -------
+        ``out`` if given, else a new float64 array of ``stack.shape``.
+        """
+        stack = np.asarray(stack, dtype=np.float32)
+        if stack.ndim not in (3, 4) or (stack.ndim == 4 and stack.shape[3] != 3):
+            raise ToneMapError(
+                f"run_stack expects (N, H, W) or (N, H, W, 3), got {stack.shape}"
+            )
+        if out is None:
+            out = np.empty(stack.shape, dtype=np.float64)
+        elif out.shape != stack.shape:
+            raise ToneMapError(
+                f"out shape {out.shape} does not match stack {stack.shape}"
+            )
+        count, height, width = stack.shape[0], stack.shape[1], stack.shape[2]
+        image_bytes = int(np.prod(stack.shape[1:])) * 8
+        chunk = max(1, _STAGE_CHUNK_BYTES // image_bytes)
+        for lo in range(0, count, chunk):
+            sub = stack[lo : lo + chunk]
+            masks = np.empty((len(sub), height, width), dtype=np.float64)
+            out[lo : lo + len(sub)] = self._run_stack(sub, masks)
+        return out
 
     def map(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
         """Convenience: batched run returning only the output images."""

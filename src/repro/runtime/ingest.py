@@ -1,0 +1,367 @@
+"""Async ingestion front-end: continuous arrivals, deadline coalescing.
+
+The paper frames tone mapping as a continuous imaging workload (video
+frames arriving one by one), but batching only pays when same-shape frames
+are stacked.  :class:`ToneMapIngestor` bridges the two: submissions are
+admitted one at a time (from threads via :meth:`submit` or from an
+``asyncio`` event loop via :meth:`submit_async`), parked in per-shape
+buckets, and flushed to the backing
+:class:`~repro.runtime.service.ToneMapService` as a coalesced batch when
+either the bucket reaches ``batch_size`` images or its oldest occupant has
+waited ``max_delay_ms`` — the classic batching-under-a-latency-deadline
+trade.
+
+Admission control is a bounded queue over everything in flight
+(admitted but unfinished work), with three
+:class:`backpressure policies <BackpressurePolicy>`:
+
+``block``
+    The submitter waits for a slot (lossless; callers feel the slowdown).
+``reject``
+    The submitter gets :class:`~repro.errors.ServiceOverloadedError`
+    immediately (shed load at the edge, keep latency bounded).
+``shed-oldest``
+    The oldest *not yet dispatched* submission is dropped — its future
+    fails with :class:`~repro.errors.ServiceOverloadedError` — and the
+    newcomer is admitted (freshest-data-wins, the right policy for live
+    video).  If every admitted image is already executing, the submitter
+    blocks until a slot frees.
+
+Queue depth, its high-water mark, reject/shed counts, and end-to-end
+latency percentiles are reported on
+:class:`~repro.runtime.service.ServiceStats` via :attr:`ToneMapIngestor.stats`.
+The full data path (ingest → coalesce → shard → batch) is diagrammed in
+``docs/architecture.md``; sustained-throughput numbers are tracked by
+``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures as futures_module
+import enum
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceOverloadedError, ToneMapError
+from repro.image.hdr import HDRImage
+from repro.runtime.service import (
+    LATENCY_WINDOW,
+    ServiceStats,
+    ToneMapService,
+    _percentile,
+)
+
+
+class BackpressurePolicy(enum.Enum):
+    """What :meth:`ToneMapIngestor.submit` does when the queue is full."""
+
+    BLOCK = "block"
+    REJECT = "reject"
+    SHED_OLDEST = "shed-oldest"
+
+
+@dataclass
+class _Pending:
+    """One admitted image waiting in a shape bucket."""
+
+    image: HDRImage
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class _Bucket:
+    """Same-shape arrivals awaiting coalescing; deadline set by the oldest."""
+
+    items: List[_Pending] = field(default_factory=list)
+
+    @property
+    def deadline_base(self) -> float:
+        return self.items[0].enqueued_at
+
+
+class ToneMapIngestor:
+    """Streams single-image arrivals into coalesced service batches.
+
+    Parameters
+    ----------
+    service:
+        The backing :class:`~repro.runtime.service.ToneMapService`.  The
+        ingestor borrows it (several ingestors may share one) and does
+        *not* close it; ``service.batch_size`` is the coalescing target.
+    max_delay_ms:
+        Longest an admitted image may wait for same-shape company before
+        its partial batch is flushed anyway.  The knob trades latency
+        (small values) against batching efficiency (large values).
+    queue_limit:
+        Maximum in-flight images (admitted but unfinished).  Admissions
+        beyond it trigger ``policy``.
+    policy:
+        A :class:`BackpressurePolicy` (or its string value).
+
+    Use as a context manager or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        service: ToneMapService,
+        max_delay_ms: float = 5.0,
+        queue_limit: int = 64,
+        policy: Union[BackpressurePolicy, str] = BackpressurePolicy.BLOCK,
+    ):
+        if max_delay_ms < 0:
+            raise ToneMapError(
+                f"max_delay_ms must be >= 0, got {max_delay_ms}"
+            )
+        if queue_limit < 1:
+            raise ToneMapError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.service = service
+        self.max_delay = max_delay_ms / 1e3
+        self.queue_limit = queue_limit
+        self.policy = BackpressurePolicy(policy)
+
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._buckets: Dict[tuple, _Bucket] = {}
+        self._in_flight = 0
+        self._closed = False
+        self._queue_peak = 0
+        self._rejected = 0
+        self._shed = 0
+        self._latencies_ms: deque = deque(maxlen=LATENCY_WINDOW)
+        self._coalescer = threading.Thread(
+            target=self._coalesce_loop, name="tonemap-ingest", daemon=True
+        )
+        self._coalescer.start()
+
+    # ------------------------------------------------------------------
+    # Submission APIs
+    # ------------------------------------------------------------------
+    def submit(self, image: HDRImage) -> "Future[HDRImage]":
+        """Admit one image (blocking API); resolves to its output.
+
+        Applies the backpressure policy when ``queue_limit`` images are in
+        flight, then parks the image in its shape bucket for coalescing.
+        """
+        if not isinstance(image, HDRImage):
+            raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        with self._lock:
+            if self._closed:
+                raise ToneMapError("ingestor is closed")
+            while self._in_flight >= self.queue_limit:
+                if self.policy is BackpressurePolicy.REJECT:
+                    self._rejected += 1
+                    raise ServiceOverloadedError(
+                        f"queue limit {self.queue_limit} reached "
+                        f"({self._in_flight} images in flight)"
+                    )
+                if (
+                    self.policy is BackpressurePolicy.SHED_OLDEST
+                    and self._shed_oldest_locked()
+                ):
+                    break
+                # BLOCK, or SHED_OLDEST with nothing left to shed (every
+                # admitted image is already executing): wait for a slot.
+                self._space.wait()
+                if self._closed:
+                    raise ToneMapError("ingestor is closed")
+            pending = _Pending(image, Future(), time.perf_counter())
+            bucket = self._buckets.setdefault(image.pixels.shape, _Bucket())
+            bucket.items.append(pending)
+            self._in_flight += 1
+            self._queue_peak = max(self._queue_peak, self._in_flight)
+            self._arrived.notify()
+        return pending.future
+
+    async def submit_async(self, image: HDRImage) -> HDRImage:
+        """Admit one image from an event loop; returns the output.
+
+        Admission (which may block under the ``block`` policy) runs on the
+        loop's default executor so the event loop itself never stalls; the
+        result is awaited without blocking either.
+        """
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(None, self.submit, image)
+        return await asyncio.wrap_future(future)
+
+    def map_many(self, images: Sequence[HDRImage]) -> list[HDRImage]:
+        """Submit many images one by one and wait for all outputs in order.
+
+        Convenience for scripted workloads; under the ``reject`` /
+        ``shed-oldest`` policies a dropped submission surfaces here as
+        :class:`~repro.errors.ServiceOverloadedError`.
+        """
+        futures = [self.submit(image) for image in images]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+    def _shed_oldest_locked(self) -> bool:
+        """Drop the oldest undispatched submission; True if one was shed."""
+        oldest_shape = None
+        oldest_at = None
+        for shape, bucket in self._buckets.items():
+            if bucket.items and (
+                oldest_at is None or bucket.deadline_base < oldest_at
+            ):
+                oldest_shape = shape
+                oldest_at = bucket.deadline_base
+        if oldest_shape is None:
+            return False
+        bucket = self._buckets[oldest_shape]
+        victim = bucket.items.pop(0)
+        if not bucket.items:
+            del self._buckets[oldest_shape]
+        self._in_flight -= 1
+        self._shed += 1
+        victim.future.set_exception(
+            ServiceOverloadedError(
+                "shed by a newer arrival (policy=shed-oldest, "
+                f"queue_limit={self.queue_limit})"
+            )
+        )
+        return True
+
+    def _ready_batches_locked(self, flush_all: bool) -> List[List[_Pending]]:
+        """Pop every bucket that is full or past its deadline."""
+        now = time.perf_counter()
+        batch_size = self.service.batch_size
+        ready: List[List[_Pending]] = []
+        for shape in list(self._buckets):
+            bucket = self._buckets[shape]
+            while len(bucket.items) >= batch_size:
+                ready.append(bucket.items[:batch_size])
+                bucket.items = bucket.items[batch_size:]
+            expired = (
+                bucket.items
+                and now - bucket.deadline_base >= self.max_delay
+            )
+            if bucket.items and (flush_all or expired):
+                ready.append(bucket.items)
+                bucket.items = []
+            if not bucket.items:
+                del self._buckets[shape]
+        return ready
+
+    def _nearest_deadline_locked(self) -> Optional[float]:
+        deadlines = [
+            bucket.deadline_base + self.max_delay
+            for bucket in self._buckets.values()
+            if bucket.items
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _coalesce_loop(self) -> None:
+        """Background thread: waits for full buckets or expired deadlines."""
+        while True:
+            with self._lock:
+                while not self._closed:
+                    batches = self._ready_batches_locked(flush_all=False)
+                    if batches:
+                        break
+                    deadline = self._nearest_deadline_locked()
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - time.perf_counter())
+                    )
+                    self._arrived.wait(timeout=timeout)
+                else:
+                    batches = self._ready_batches_locked(flush_all=True)
+            for batch in batches:
+                self._dispatch(batch)
+            with self._lock:
+                if self._closed and not self._buckets:
+                    return
+
+    def _dispatch(self, batch: List[_Pending]) -> None:
+        """Hand one coalesced batch to the service; fan results back out."""
+        try:
+            future = self.service.submit_batch([p.image for p in batch])
+        except BaseException as exc:  # pool shut down, etc.
+            self._complete(batch, None, exc)
+            return
+        future.add_done_callback(
+            lambda f: self._complete(batch, f.result, f.exception())
+        )
+
+    def _complete(self, batch, result_fn, exc) -> None:
+        outputs = None if exc is not None else result_fn()
+        done_at = time.perf_counter()
+        # Resolve the futures *before* releasing the queue slots: close()
+        # returns once nothing is in flight, and its contract is that every
+        # future handed out earlier has resolved by then.  A future the
+        # caller cancelled while it waited raises InvalidStateError on
+        # set_* — its result is simply dropped, but it must not prevent the
+        # rest of the batch from resolving.
+        for index, pending in enumerate(batch):
+            try:
+                if exc is not None:
+                    pending.future.set_exception(exc)
+                else:
+                    pending.future.set_result(outputs[index])
+            except futures_module.InvalidStateError:
+                pass
+        with self._lock:
+            for pending in batch:
+                self._latencies_ms.append(
+                    (done_at - pending.enqueued_at) * 1e3
+                )
+            self._in_flight -= len(batch)
+            self._space.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        """Service throughput counters merged with this ingestor's queue view.
+
+        ``images``/``pixels``/``seconds``/``batches`` come from the backing
+        service; ``queue_depth`` counts this ingestor's in-flight images
+        and the latency percentiles are end-to-end (submit to result).
+        """
+        base = self.service.stats
+        with self._lock:
+            ordered = sorted(self._latencies_ms)
+            return replace(
+                base,
+                queue_depth=self._in_flight,
+                queue_peak=self._queue_peak,
+                rejected=self._rejected,
+                shed=self._shed,
+                latency_p50_ms=_percentile(ordered, 0.50),
+                latency_p95_ms=_percentile(ordered, 0.95),
+                latency_p99_ms=_percentile(ordered, 0.99),
+            )
+
+    def close(self) -> None:
+        """Flush queued work, wait for in-flight futures, stop the coalescer.
+
+        Every future handed out before ``close`` resolves (blocked
+        submitters instead get :class:`~repro.errors.ToneMapError`).  The
+        backing service stays open — the caller owns it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._arrived.notify_all()
+            self._space.notify_all()
+        self._coalescer.join()
+        with self._lock:
+            while self._in_flight > 0:
+                self._space.wait()
+
+    def __enter__(self) -> "ToneMapIngestor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

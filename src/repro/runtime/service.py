@@ -1,35 +1,61 @@
-"""A thread-pool tone-mapping service over :class:`BatchToneMapper`.
+"""A pooled tone-mapping service over :class:`BatchToneMapper`.
 
 :class:`ToneMapService` is the serving layer the ROADMAP's north star asks
 for: callers hand it images (any mix of shapes), it groups them by shape,
 chops each group into batches, runs the batches on a thread pool, and
 keeps aggregate throughput statistics.  Heavy NumPy stages release the
-GIL, so the pool overlaps real work.
+GIL, so the pool overlaps real work; with ``shards=N`` the batches are
+additionally partitioned across worker **processes**
+(:class:`~repro.runtime.shard.ShardPool`), which frees the fixed-point
+model's Python-level glue from the GIL entirely.
 
 Per-kernel state — the Gaussian coefficient array and, for fixed-point
 blur functions, the quantized coefficient ROM — is cached: the kernel is
 built once per parameter set (coefficients are precomputed on the frozen
 :class:`~repro.tonemap.gaussian.GaussianKernel`), and
 ``FixedBlurConfig.quantized_coefficients`` memoizes per (config, kernel).
+Sharded pools warm both caches per worker process at start-up.
+
+The service executes work as fast as it arrives; admission control
+(bounded queueing, deadline coalescing, the async API) is layered on top
+by :class:`~repro.runtime.ingest.ToneMapIngestor`.  The data path and the
+backpressure policies are documented in ``docs/architecture.md``; the
+throughput benchmarks that track this module are described in
+``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.errors import ToneMapError
 from repro.image.hdr import HDRImage
 from repro.runtime.batch import BatchToneMapper
+from repro.runtime.shard import ShardPool
+from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
+
+#: How many recent completion latencies feed the percentile stats.
+LATENCY_WINDOW = 1024
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(fraction * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
 
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Aggregate counters of a service instance.
+    """Aggregate counters of a runtime instance.
 
     Attributes
     ----------
@@ -40,11 +66,37 @@ class ServiceStats:
     seconds:
         Total wall-clock seconds spent inside batch runs (summed across
         workers, so it can exceed elapsed time under concurrency).
+    batches:
+        Batch runs completed so far.
+    queue_depth:
+        Work currently admitted but not finished — batches for a bare
+        :class:`ToneMapService`, images for a
+        :class:`~repro.runtime.ingest.ToneMapIngestor`.
+    queue_peak:
+        High-water mark of ``queue_depth``.
+    rejected:
+        Submissions refused with
+        :class:`~repro.errors.ServiceOverloadedError` (``reject`` policy).
+    shed:
+        Queued submissions dropped to admit newer arrivals
+        (``shed-oldest`` policy).
+    latency_p50_ms / latency_p95_ms / latency_p99_ms:
+        Percentiles over a sliding window of recent completion latencies
+        (:data:`LATENCY_WINDOW` samples): batch execution time for the
+        bare service, per-image submit-to-result time for the ingestor.
     """
 
     images: int = 0
     pixels: int = 0
     seconds: float = 0.0
+    batches: int = 0
+    queue_depth: int = 0
+    queue_peak: int = 0
+    rejected: int = 0
+    shed: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
 
     @property
     def pixels_per_sec(self) -> float:
@@ -55,7 +107,7 @@ class ServiceStats:
 
 
 class ToneMapService:
-    """Batched, thread-pooled tone mapping with per-kernel caches.
+    """Batched, pooled tone mapping with per-kernel caches.
 
     Parameters
     ----------
@@ -66,6 +118,17 @@ class ToneMapService:
     batch_size:
         Maximum images per batched run; larger batches amortize array
         passes better, smaller ones spread across more workers.
+    shards:
+        When given, each batch is partitioned across this many worker
+        processes via :class:`~repro.runtime.shard.ShardPool` (outputs are
+        bit-identical to the in-process path).  ``params.blur_fn`` must
+        then be ``None``; request the fixed-point model with
+        ``fixed_config``.
+    fixed_config:
+        Convenience for the bit-accurate fixed-point blur: equivalent to
+        ``blur_fn=make_fixed_blur_fn(fixed_config)`` in-process, and the
+        only way to request fixed point from sharded workers (closures do
+        not pickle).
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -75,36 +138,108 @@ class ToneMapService:
         params: ToneMapParams = ToneMapParams(),
         max_workers: Optional[int] = None,
         batch_size: int = 8,
+        shards: Optional[int] = None,
+        fixed_config: Optional[FixedBlurConfig] = None,
     ):
         if batch_size < 1:
             raise ToneMapError(f"batch_size must be >= 1, got {batch_size}")
+        if fixed_config is not None and params.blur_fn is not None:
+            raise ToneMapError(
+                "pass either params.blur_fn or fixed_config, not both"
+            )
         self.params = params
         self.batch_size = batch_size
-        self._mapper = BatchToneMapper(params)
+        self.shards = shards
+        self._pool: Optional[ShardPool] = None
+        if shards is not None:
+            self._pool = ShardPool(
+                params, shards=shards, fixed_config=fixed_config
+            )
+        local_params = params
+        if fixed_config is not None:
+            local_params = replace(
+                params, blur_fn=make_fixed_blur_fn(fixed_config)
+            )
+        self._mapper = BatchToneMapper(local_params)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="tonemap"
         )
         self._lock = threading.Lock()
         self._stats = ServiceStats()
+        self._latencies_ms: deque = deque(maxlen=LATENCY_WINDOW)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _run_batch(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+    def _admit_batch(self) -> None:
+        """Count one batch into the queue-depth stat at submission time."""
+        with self._lock:
+            self._stats = replace(
+                self._stats,
+                queue_depth=self._stats.queue_depth + 1,
+                queue_peak=max(
+                    self._stats.queue_peak, self._stats.queue_depth + 1
+                ),
+            )
+
+    def run_batch(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+        """Tone-map one same-shape batch synchronously, recording stats.
+
+        Runs on the shard pool when one is configured, else on the
+        in-process batch mapper; either way the caller's thread blocks for
+        the duration (use :meth:`submit_batch` to overlap batches).
+        """
+        self._admit_batch()
+        return self._run_admitted(images)
+
+    def _run_admitted(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+        """Execute one batch already counted by :meth:`_admit_batch`."""
         start = time.perf_counter()
-        result = self._mapper.run(images)
+        try:
+            if self._pool is not None:
+                outputs = self._pool.run_batch(images)
+                pixels = sum(
+                    int(im.pixels.shape[0]) * int(im.pixels.shape[1])
+                    for im in images
+                )
+            else:
+                result = self._mapper.run(images)
+                outputs = result.outputs
+                pixels = result.pixels
+        except BaseException:
+            with self._lock:
+                self._stats = replace(
+                    self._stats, queue_depth=self._stats.queue_depth - 1
+                )
+            raise
         elapsed = time.perf_counter() - start
         with self._lock:
-            self._stats = ServiceStats(
+            self._latencies_ms.append(elapsed * 1e3)
+            self._stats = replace(
+                self._stats,
                 images=self._stats.images + len(images),
-                pixels=self._stats.pixels + result.pixels,
+                pixels=self._stats.pixels + pixels,
                 seconds=self._stats.seconds + elapsed,
+                batches=self._stats.batches + 1,
+                queue_depth=self._stats.queue_depth - 1,
             )
-        return result.outputs
+        return outputs
+
+    def submit_batch(
+        self, images: Sequence[HDRImage]
+    ) -> "Future[tuple[HDRImage, ...]]":
+        """Queue one same-shape batch on the pool; resolves to its outputs.
+
+        The batch counts toward ``queue_depth`` from this moment — queued
+        behind the thread pool is still "admitted but not finished".
+        """
+        self._admit_batch()
+        return self._executor.submit(self._run_admitted, list(images))
 
     def submit(self, image: HDRImage) -> "Future[HDRImage]":
         """Queue a single image; resolves to its tone-mapped output."""
-        return self._executor.submit(lambda: self._run_batch([image])[0])
+        self._admit_batch()
+        return self._executor.submit(lambda: self._run_admitted([image])[0])
 
     def map_many(self, images: Sequence[HDRImage]) -> list[HDRImage]:
         """Tone-map many images, preserving input order.
@@ -126,9 +261,8 @@ class ToneMapService:
         for indices in groups.values():
             for lo in range(0, len(indices), self.batch_size):
                 chunk = indices[lo : lo + self.batch_size]
-                batch = [images[i] for i in chunk]
                 futures.append(
-                    (chunk, self._executor.submit(self._run_batch, batch))
+                    (chunk, self.submit_batch([images[i] for i in chunk]))
                 )
 
         outputs: list[Optional[HDRImage]] = [None] * len(images)
@@ -142,13 +276,21 @@ class ToneMapService:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> ServiceStats:
-        """A snapshot of the aggregate counters."""
+        """A snapshot of the aggregate counters (latency = batch run time)."""
         with self._lock:
-            return self._stats
+            ordered = sorted(self._latencies_ms)
+            return replace(
+                self._stats,
+                latency_p50_ms=_percentile(ordered, 0.50),
+                latency_p95_ms=_percentile(ordered, 0.95),
+                latency_p99_ms=_percentile(ordered, 0.99),
+            )
 
     def close(self) -> None:
-        """Shut the pool down, waiting for queued work."""
+        """Shut the pools down, waiting for queued work."""
         self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ToneMapService":
         return self

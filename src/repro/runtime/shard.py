@@ -1,0 +1,255 @@
+"""Process-pool sharding backend: batches partitioned across workers.
+
+The thread-pooled :class:`~repro.runtime.service.ToneMapService` overlaps
+the NumPy stages (which release the GIL), but the fixed-point model still
+carries Python-level glue — the tap loop, quantization bookkeeping — that
+serializes on the GIL.  :class:`ShardPool` escapes it: a batch's
+``(N, H, W[, 3])`` pixel stack is placed in POSIX shared memory, the N
+images are partitioned into contiguous slabs, and each slab is tone-mapped
+by a separate **worker process** that writes its results straight back
+into a shared output stack.  Only shared-memory names and slab bounds
+cross the process boundary — never pixel data.
+
+Each worker holds its own :class:`~repro.runtime.batch.BatchToneMapper`,
+so the per-kernel Gaussian coefficients and (for fixed-point configs) the
+quantized coefficient ROM are built once per process at pool start-up and
+reused for every slab.  Because ``blur_fn`` closures do not pickle, the
+fixed-point path is requested by shipping the frozen, picklable
+:class:`~repro.tonemap.fixed_blur.FixedBlurConfig` instead; workers
+rebuild the closure with :func:`~repro.tonemap.fixed_blur.make_fixed_blur_fn`.
+
+Outputs are bit-identical to the in-process
+:class:`~repro.runtime.batch.BatchToneMapper` path: workers run the same
+stack code (:meth:`BatchToneMapper.run_stack`) and the float64→float32
+store happens once either way.  Throughput of the sharded path is tracked
+by ``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from multiprocessing import shared_memory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ToneMapError
+from repro.image.hdr import HDRImage
+from repro.runtime.batch import BatchToneMapper
+from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
+from repro.tonemap.pipeline import ToneMapParams
+
+#: Worker-process global: the per-process mapper with warm caches.
+_WORKER_MAPPER: Optional[BatchToneMapper] = None
+
+
+def _init_worker(
+    params: ToneMapParams, fixed_config: Optional[FixedBlurConfig]
+) -> None:
+    """Build this worker's mapper once; subsequent slabs reuse its caches."""
+    global _WORKER_MAPPER
+    if fixed_config is not None:
+        params = replace(params, blur_fn=make_fixed_blur_fn(fixed_config))
+    _WORKER_MAPPER = BatchToneMapper(params)
+    if fixed_config is not None:
+        # Quantize the coefficient ROM now so the first slab pays nothing.
+        fixed_config.quantized_coefficients(_WORKER_MAPPER.kernel)
+
+
+def _worker_ready() -> bool:
+    """No-op task used to force worker start-up at pool construction."""
+    return _WORKER_MAPPER is not None
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it.
+
+    Before Python 3.13 (``track=False``), attaching registers the segment
+    with this process's resource tracker a second time; the parent — which
+    created the segment and owns its lifetime — already unlinks it, so the
+    duplicate registration only produces spurious "leaked shared_memory"
+    warnings at worker shutdown.  Undo it (best-effort: the private API
+    may move).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    return shm
+
+
+def _run_slab(
+    in_name: str, out_name: str, shape: tuple, lo: int, hi: int
+) -> tuple[int, int]:
+    """Tone-map images ``lo:hi`` of the shared input stack in this worker."""
+    in_shm = _attach(in_name)
+    out_shm = _attach(out_name)
+    try:
+        stack = np.ndarray(shape, dtype=np.float32, buffer=in_shm.buf)
+        out = np.ndarray(shape, dtype=np.float32, buffer=out_shm.buf)
+        _WORKER_MAPPER.run_stack(stack[lo:hi], out=out[lo:hi])
+    finally:
+        in_shm.close()
+        out_shm.close()
+    return lo, hi
+
+
+def _slab_bounds(count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``count`` images into at most ``shards`` contiguous slabs."""
+    shards = min(shards, count)
+    base, extra = divmod(count, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ShardPool:
+    """Tone-maps batches by sharding them across worker processes.
+
+    Parameters
+    ----------
+    params:
+        Pipeline parameters.  ``params.blur_fn`` must be ``None`` — a
+        closure cannot cross the process boundary; request the fixed-point
+        path with ``fixed_config`` instead.
+    shards:
+        Number of worker processes.  All are started (and their caches
+        warmed) eagerly in the constructor, so no process is ever forked
+        after caller threads exist.
+    fixed_config:
+        When given, every worker blurs with the bit-accurate fixed-point
+        model built from this config (batched across its whole slab).
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` on Linux (cheap
+        start-up, inherited imports) and ``spawn`` elsewhere (forking
+        after BLAS/framework threads start is unsafe on macOS).
+
+    Use as a context manager or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        params: ToneMapParams = ToneMapParams(),
+        shards: int = 2,
+        fixed_config: Optional[FixedBlurConfig] = None,
+        start_method: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ToneMapError(f"shards must be >= 1, got {shards}")
+        if params.blur_fn is not None:
+            raise ToneMapError(
+                "blur_fn closures cannot cross the process boundary; pass "
+                "fixed_config=FixedBlurConfig(...) and let workers rebuild it"
+            )
+        if start_method is None:
+            # fork only on Linux: macOS lists it but CPython switched its
+            # default to spawn because forking after BLAS/framework
+            # threads start is unsafe there.
+            start_method = (
+                "fork"
+                if sys.platform == "linux"
+                and "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
+        self.shards = shards
+        self.params = params
+        self.fixed_config = fixed_config
+        self._executor = ProcessPoolExecutor(
+            max_workers=shards,
+            mp_context=mp.get_context(start_method),
+            initializer=_init_worker,
+            initargs=(params, fixed_config),
+        )
+        # Spawn every worker now: one pending task per worker forces the
+        # executor to start all processes, and resolving the futures proves
+        # each initializer ran.
+        for future in [
+            self._executor.submit(_worker_ready) for _ in range(shards)
+        ]:
+            if not future.result():  # pragma: no cover - defensive
+                raise ToneMapError("shard worker failed to initialize")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Tone-map an ``(N, H, W[, 3])`` float stack across the shards.
+
+        Returns a float32 stack of the same shape (the :class:`HDRImage`
+        storage dtype, so wrapping the result loses nothing).
+        """
+        stack = np.ascontiguousarray(stack, dtype=np.float32)
+        if stack.ndim not in (3, 4):
+            raise ToneMapError(
+                f"run_stack expects (N, H, W) or (N, H, W, 3), got {stack.shape}"
+            )
+        count = stack.shape[0]
+        if count == 0:
+            raise ToneMapError("batch must contain at least one image")
+        in_shm = shared_memory.SharedMemory(create=True, size=stack.nbytes)
+        out_shm = shared_memory.SharedMemory(create=True, size=stack.nbytes)
+        try:
+            shared_in = np.ndarray(
+                stack.shape, dtype=np.float32, buffer=in_shm.buf
+            )
+            shared_in[:] = stack
+            futures = [
+                self._executor.submit(
+                    _run_slab, in_shm.name, out_shm.name, stack.shape, lo, hi
+                )
+                for lo, hi in _slab_bounds(count, self.shards)
+            ]
+            for future in futures:
+                future.result()
+            shared_out = np.ndarray(
+                stack.shape, dtype=np.float32, buffer=out_shm.buf
+            )
+            return shared_out.copy()
+        finally:
+            in_shm.close()
+            in_shm.unlink()
+            out_shm.close()
+            out_shm.unlink()
+
+    def run_batch(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
+        """Tone-map a same-shape batch; drop-in for ``BatchToneMapper.map``."""
+        if len(images) == 0:
+            raise ToneMapError("batch must contain at least one image")
+        for image in images:
+            if not isinstance(image, HDRImage):
+                raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        shape = images[0].pixels.shape
+        for image in images:
+            if image.pixels.shape != shape:
+                raise ToneMapError(
+                    f"batch images must share one shape; got {shape} and "
+                    f"{image.pixels.shape} (group by shape first)"
+                )
+        out = self.run_stack(np.stack([image.pixels for image in images]))
+        return tuple(
+            HDRImage(out[i], name=f"{images[i].name}:tonemapped")
+            for i in range(len(images))
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker processes down, waiting for running slabs."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

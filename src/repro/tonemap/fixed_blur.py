@@ -123,8 +123,11 @@ def _fixed_pass_rows(
 ) -> np.ndarray:
     """One horizontal fixed-point pass over raw pixel values.
 
-    Accumulates exact integer products then re-quantizes each output pixel
-    back to ``data_fmt`` (what the hardware writes to its line buffer).
+    Operates along the last axis, so a ``(H, W)`` plane and an
+    ``(N, H, W)`` stack take the identical code path — the batch case just
+    covers N times as many rows per array operation.  Accumulates exact
+    integer products then re-quantizes each output pixel back to
+    ``data_fmt`` (what the hardware writes to its line buffer).
 
     Symmetric kernels take the folded path: mirrored taps share a raw
     coefficient, so the two shifted planes are added *before* the single
@@ -137,30 +140,31 @@ def _fixed_pass_rows(
     """
     taps = coeff_raws.size
     radius = (taps - 1) // 2
-    padded = np.pad(raw, ((0, 0), (radius, radius)), mode="edge")
-    width = raw.shape[1]
+    pad = [(0, 0)] * (raw.ndim - 1) + [(radius, radius)]
+    padded = np.pad(raw, pad, mode="edge")
+    width = raw.shape[-1]
     acc = np.empty_like(raw, dtype=np.int64)
     if taps > 1 and taps % 2 == 1 and np.array_equal(coeff_raws, coeff_raws[::-1]):
         np.multiply(
-            padded[:, radius : radius + width], np.int64(coeff_raws[radius]),
+            padded[..., radius : radius + width], np.int64(coeff_raws[radius]),
             out=acc,
         )
         pair = np.empty_like(acc)
         for k in range(radius):
             mirror = 2 * radius - k
             np.add(
-                padded[:, k : k + width],
-                padded[:, mirror : mirror + width],
+                padded[..., k : k + width],
+                padded[..., mirror : mirror + width],
                 out=pair,
             )
             pair *= np.int64(coeff_raws[k])
             acc += pair
     else:
-        np.multiply(padded[:, 0:width], np.int64(coeff_raws[0]), out=acc)
+        np.multiply(padded[..., 0:width], np.int64(coeff_raws[0]), out=acc)
         term = np.empty_like(acc)
         for k in range(1, taps):
             np.multiply(
-                padded[:, k : k + width], np.int64(coeff_raws[k]), out=term
+                padded[..., k : k + width], np.int64(coeff_raws[k]), out=term
             )
             acc += term
     acc_fmt = config.accumulator_fmt(taps)
@@ -192,10 +196,63 @@ def fixed_point_blur_plane(
     return FixedArray(np.ascontiguousarray(vertical), config.data_fmt).to_float()
 
 
+def fixed_point_blur_batch(
+    planes: np.ndarray,
+    kernel: GaussianKernel,
+    config: FixedBlurConfig = FixedBlurConfig(),
+) -> np.ndarray:
+    """Bit-accurate fixed-point blur of a stacked ``(N, H, W)`` batch.
+
+    The batched counterpart of :func:`fixed_point_blur_plane`: one
+    quantization of the whole stack, one horizontal and one vertical folded
+    pass over all N planes per array operation.  Every element goes through
+    the identical integer arithmetic as the per-plane path (the pass
+    operates along the last axis either way), so the result is **bit-exact**
+    against ``fixed_point_blur_plane`` applied plane-by-plane — asserted in
+    ``tests/test_blur_fastpaths.py`` — while folding the mirrored taps
+    across the whole stack amortizes the Python-level tap loop over N
+    planes.  This is the batch runtime's fixed-point hot path (see
+    ``docs/benchmarks.md`` for how its throughput is tracked).
+    """
+    planes = np.asarray(planes, dtype=np.float64)
+    if planes.ndim != 3:
+        raise ToneMapError(
+            f"fixed_point_blur_batch expects a (N, H, W) stack, got {planes.shape}"
+        )
+    coeff_raws = config.quantized_coefficients(kernel)
+    data = FixedArray.from_float(planes, config.data_fmt)
+    horizontal = _fixed_pass_rows(data.raw, coeff_raws, config)
+    transposed = np.ascontiguousarray(np.swapaxes(horizontal, 1, 2))
+    vertical = np.swapaxes(
+        _fixed_pass_rows(transposed, coeff_raws, config), 1, 2
+    )
+    return FixedArray(np.ascontiguousarray(vertical), config.data_fmt).to_float()
+
+
 def make_fixed_blur_fn(config: FixedBlurConfig = FixedBlurConfig()):
-    """A ``BlurFn`` closure over *config* for ``ToneMapParams.blur_fn``."""
+    """A ``BlurFn`` closure over *config* for ``ToneMapParams.blur_fn``.
+
+    The returned callable carries two extra attributes that the batch
+    runtime uses:
+
+    ``blur_batch``
+        The stack-level entry point (:func:`fixed_point_blur_batch`);
+        :class:`repro.runtime.BatchToneMapper` detects it and blurs the
+        whole ``(N, H, W)`` luminance volume in one call instead of
+        looping plane-by-plane.
+    ``config``
+        The :class:`FixedBlurConfig` the closure was built from, so
+        process-pool backends (:class:`repro.runtime.ShardPool`) can ship
+        the picklable config across the process boundary and rebuild the
+        closure worker-side.
+    """
 
     def blur_fn(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
         return fixed_point_blur_plane(plane, kernel, config)
 
+    def blur_batch_fn(planes: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
+        return fixed_point_blur_batch(planes, kernel, config)
+
+    blur_fn.blur_batch = blur_batch_fn
+    blur_fn.config = config
     return blur_fn

@@ -16,6 +16,7 @@ from repro.experiments.calibration import make_paper_flow
 from repro.experiments.extensions import (
     overlap_study,
     overlapped_blur_seconds,
+    runtime_throughput,
     video_throughput,
 )
 
@@ -159,3 +160,35 @@ class TestThroughputExtension:
 
     def test_render(self):
         assert "frames/s" in self.STUDY.render()
+
+
+@pytest.fixture(scope="module")
+def runtime_row():
+    # One small live measurement shared by the assertions below (the
+    # frame size only scales the rates, not the study's mechanics).
+    # A fixture, not a class attribute: it must run lazily at test time,
+    # not during collection.
+    return runtime_throughput(size=48, frames=3, batch_size=2)
+
+
+class TestRuntimeThroughputRows:
+    def test_measured_rates_are_positive(self, runtime_row):
+        assert runtime_row.fps_sequential > 0.0
+        assert runtime_row.fps_pipelined > 0.0
+        assert "measured" in runtime_row.bound_by
+
+    def test_rows_append_to_video_study(self, runtime_row):
+        study = video_throughput(FLOW, runtime=[runtime_row])
+        keys = [r.key for r in study.results]
+        assert keys[: len(FLOW.variants)] == list(FLOW.variants)
+        assert keys[-1] == "sw-batch"
+        assert study.result("sw-batch") is runtime_row
+        assert "sw-batch" in study.render()
+
+    def test_sharded_key_names_the_shard_count(self):
+        row = runtime_throughput(size=32, frames=2, shards=1, batch_size=2)
+        assert row.key == "sw-shard1"
+
+    def test_fixed_row_labels_the_blur(self):
+        row = runtime_throughput(size=32, frames=2, fixed=True, batch_size=2)
+        assert "fxp" in row.bound_by

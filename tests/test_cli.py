@@ -46,6 +46,27 @@ class TestParser:
         assert args.images == tmp_path
         assert args.output_dir == tmp_path
 
+    def test_batch_serving_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.shards is None
+        assert args.max_delay_ms is None
+        assert args.queue_limit is None
+        assert args.policy == "block"
+
+    def test_batch_serving_options(self):
+        args = build_parser().parse_args(
+            ["batch", "--shards", "4", "--max-delay-ms", "2.5",
+             "--queue-limit", "32", "--policy", "shed-oldest"]
+        )
+        assert args.shards == 4
+        assert args.max_delay_ms == 2.5
+        assert args.queue_limit == 32
+        assert args.policy == "shed-oldest"
+
+    def test_batch_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--policy", "drop-newest"])
+
 
 class TestMain:
     def test_table2(self, capsys):
@@ -119,6 +140,25 @@ class TestMain:
         assert main(["--size", "32", "batch", "--count", "2", "--fixed"]) == 0
         out = capsys.readouterr().out
         assert "fixed-point 16-bit" in out
+
+    def test_batch_sharded(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "3", "--batch-size", "2",
+             "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shards        : 2 process(es)" in out
+        assert "pre-grouped" in out
+
+    def test_batch_streaming_ingest(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "4", "--batch-size", "2",
+             "--max-delay-ms", "4", "--queue-limit", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streaming (ingestor)" in out
+        assert "queue peak" in out
+        assert "latency p50" in out
 
     def test_batch_image_directory(self, capsys, tmp_path):
         from repro.image.pfm import write_pfm

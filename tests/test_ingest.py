@@ -1,0 +1,311 @@
+"""Tests for repro.runtime.ingest: coalescing, backpressure, async APIs.
+
+Timing-sensitive cases gate the service with an event-controlled blur so
+the queue state is deterministic rather than racy.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceOverloadedError, ToneMapError
+from repro.image.synthetic import SceneParams, make_scene
+from repro.runtime import (
+    BackpressurePolicy,
+    BatchToneMapper,
+    ToneMapIngestor,
+    ToneMapService,
+)
+from repro.tonemap.gaussian import separable_blur
+from repro.tonemap.pipeline import ToneMapParams, ToneMapper
+
+PARAMS = ToneMapParams(sigma=2.0, radius=6)
+
+
+def scenes(count, size=24, base=100):
+    return [
+        make_scene(
+            "window_interior",
+            SceneParams(height=size, width=size, seed=base + i),
+        )
+        for i in range(count)
+    ]
+
+
+def gated_params():
+    """Params whose blur blocks until the returned event is set."""
+    gate = threading.Event()
+
+    def slow_blur(plane, kernel):
+        gate.wait(timeout=30)
+        return separable_blur(plane, kernel)
+
+    return ToneMapParams(sigma=2.0, radius=6, blur_fn=slow_blur), gate
+
+
+class TestCoalescing:
+    def test_outputs_match_batch_mapper(self):
+        images = scenes(5)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            with ToneMapIngestor(service, max_delay_ms=20) as ingestor:
+                outputs = ingestor.map_many(images)
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_partial_batch_flushes_at_deadline(self):
+        # One image with batch_size 4 can only complete via the deadline.
+        with ToneMapService(PARAMS, batch_size=4) as service:
+            with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                future = ingestor.submit(scenes(1)[0])
+                output = future.result(timeout=30)
+        assert output.pixels.shape == (24, 24, 3)
+
+    def test_zero_delay_degrades_to_submit_one_run_one(self):
+        images = scenes(3)
+        with ToneMapService(PARAMS, batch_size=8) as service:
+            with ToneMapIngestor(service, max_delay_ms=0) as ingestor:
+                outputs = ingestor.map_many(images)
+        assert len(outputs) == 3
+        assert service.stats.batches >= 1
+
+    def test_mixed_shape_storm(self):
+        # Interleaved shapes must coalesce per shape and all complete.
+        images = []
+        for i in range(4):
+            images.extend(scenes(1, size=16, base=i))
+            images.extend(scenes(1, size=24, base=40 + i))
+            images.extend(scenes(1, size=32, base=80 + i))
+        with ToneMapService(PARAMS, batch_size=3) as service:
+            with ToneMapIngestor(
+                service, max_delay_ms=2, queue_limit=64
+            ) as ingestor:
+                outputs = ingestor.map_many(images)
+                stats = ingestor.stats
+        single = ToneMapper(PARAMS)
+        assert stats.images == len(images)
+        for image, output in zip(images, outputs):
+            assert output.pixels.shape == image.pixels.shape
+            np.testing.assert_allclose(
+                output.pixels, single.run(image).output.pixels, atol=1e-5
+            )
+
+    def test_full_bucket_flushes_before_deadline(self):
+        images = scenes(4)
+        with ToneMapService(PARAMS, batch_size=4) as service:
+            # Deadline far away: only a full bucket can flush this fast.
+            with ToneMapIngestor(service, max_delay_ms=60_000) as ingestor:
+                futures = [ingestor.submit(image) for image in images]
+                for future in futures:
+                    future.result(timeout=30)
+        assert service.stats.batches == 1
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_and_counts(self):
+        params, gate = gated_params()
+        with ToneMapService(params, batch_size=1, max_workers=1) as service:
+            with ToneMapIngestor(
+                service, max_delay_ms=0, queue_limit=2, policy="reject"
+            ) as ingestor:
+                futures = [ingestor.submit(img) for img in scenes(2)]
+                with pytest.raises(ServiceOverloadedError):
+                    ingestor.submit(scenes(1)[0])
+                assert ingestor.stats.rejected == 1
+                gate.set()
+                for future in futures:
+                    assert future.result(timeout=30) is not None
+
+    def test_shed_oldest_policy_drops_oldest_waiting(self):
+        params, gate = gated_params()
+        with ToneMapService(params, batch_size=8, max_workers=1) as service:
+            # Long deadline: submissions park in the bucket, undispatched.
+            ingestor = ToneMapIngestor(
+                service,
+                max_delay_ms=60_000,
+                queue_limit=2,
+                policy=BackpressurePolicy.SHED_OLDEST,
+            )
+            first = ingestor.submit(scenes(1, base=0)[0])
+            second = ingestor.submit(scenes(1, base=1)[0])
+            third = ingestor.submit(scenes(1, base=2)[0])  # sheds `first`
+            assert ingestor.stats.shed == 1
+            with pytest.raises(ServiceOverloadedError):
+                first.result(timeout=5)
+            gate.set()
+            ingestor.close()
+            assert second.result(timeout=30) is not None
+            assert third.result(timeout=30) is not None
+
+    def test_block_policy_waits_for_capacity(self):
+        params, gate = gated_params()
+        with ToneMapService(params, batch_size=1, max_workers=1) as service:
+            with ToneMapIngestor(
+                service, max_delay_ms=0, queue_limit=1, policy="block"
+            ) as ingestor:
+                first = ingestor.submit(scenes(1)[0])
+                unblocked_at = []
+
+                def late_submit():
+                    future = ingestor.submit(scenes(1, base=9)[0])
+                    unblocked_at.append(time.perf_counter())
+                    future.result(timeout=30)
+
+                thread = threading.Thread(target=late_submit)
+                thread.start()
+                time.sleep(0.1)
+                # Still blocked: the queue slot is held by `first`.
+                assert not unblocked_at
+                released_at = time.perf_counter()
+                gate.set()
+                thread.join(timeout=30)
+                assert unblocked_at and unblocked_at[0] >= released_at
+                assert first.result(timeout=30) is not None
+
+    def test_queue_peak_tracks_high_water_mark(self):
+        params, gate = gated_params()
+        with ToneMapService(params, batch_size=8, max_workers=1) as service:
+            ingestor = ToneMapIngestor(
+                service, max_delay_ms=60_000, queue_limit=8
+            )
+            futures = [ingestor.submit(img) for img in scenes(5)]
+            assert ingestor.stats.queue_depth == 5
+            assert ingestor.stats.queue_peak == 5
+            gate.set()
+            ingestor.close()
+            for future in futures:
+                future.result(timeout=30)
+            assert ingestor.stats.queue_depth == 0
+            assert ingestor.stats.queue_peak == 5
+
+
+class TestLifecycle:
+    def test_close_resolves_in_flight_futures(self):
+        params, gate = gated_params()
+        service = ToneMapService(params, batch_size=2, max_workers=2)
+        ingestor = ToneMapIngestor(service, max_delay_ms=60_000)
+        futures = [ingestor.submit(img) for img in scenes(5)]
+        closer = threading.Thread(target=ingestor.close)
+        closer.start()
+        gate.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        for future in futures:
+            assert future.result(timeout=1) is not None
+        # close() flushed everything: nothing left in flight.
+        assert ingestor.stats.queue_depth == 0
+        service.close()
+
+    def test_submit_after_close_rejected(self):
+        with ToneMapService(PARAMS) as service:
+            ingestor = ToneMapIngestor(service)
+            ingestor.close()
+            with pytest.raises(ToneMapError):
+                ingestor.submit(scenes(1)[0])
+
+    def test_close_is_idempotent(self):
+        with ToneMapService(PARAMS) as service:
+            ingestor = ToneMapIngestor(service)
+            ingestor.close()
+            ingestor.close()
+
+    def test_service_stays_open_after_ingestor_close(self):
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            with ToneMapIngestor(service) as ingestor:
+                ingestor.map_many(scenes(2))
+            # The ingestor borrowed the service; it must still work.
+            assert len(service.map_many(scenes(2))) == 2
+
+    def test_cancelled_future_does_not_starve_batchmates(self):
+        # Cancelling one pending future must not prevent the rest of its
+        # coalesced batch from resolving (set_result on a cancelled future
+        # raises InvalidStateError, which _complete must tolerate).
+        params, gate = gated_params()
+        with ToneMapService(params, batch_size=2, max_workers=1) as service:
+            ingestor = ToneMapIngestor(service, max_delay_ms=60_000)
+            victim = ingestor.submit(scenes(1, base=0)[0])
+            survivor = ingestor.submit(scenes(1, base=1)[0])
+            assert victim.cancel()
+            gate.set()
+            ingestor.close()
+            assert survivor.result(timeout=30) is not None
+            assert victim.cancelled()
+
+    def test_futures_resolved_when_close_returns(self):
+        # close()'s contract: nothing in flight implies every future
+        # handed out earlier has already resolved.
+        images = scenes(6)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            ingestor = ToneMapIngestor(service, max_delay_ms=1)
+            futures = [ingestor.submit(image) for image in images]
+            ingestor.close()
+            assert all(future.done() for future in futures)
+
+    def test_errors_propagate_to_futures(self):
+        def broken_blur(plane, kernel):
+            raise ValueError("boom")
+
+        params = ToneMapParams(sigma=2.0, radius=6, blur_fn=broken_blur)
+        with ToneMapService(params, batch_size=2) as service:
+            with ToneMapIngestor(service, max_delay_ms=0) as ingestor:
+                future = ingestor.submit(scenes(1)[0])
+                with pytest.raises(ValueError):
+                    future.result(timeout=30)
+
+
+class TestValidation:
+    def test_non_image_rejected(self):
+        with ToneMapService(PARAMS) as service:
+            with ToneMapIngestor(service) as ingestor:
+                with pytest.raises(ToneMapError):
+                    ingestor.submit(np.zeros((4, 4)))
+
+    def test_bad_parameters_rejected(self):
+        with ToneMapService(PARAMS) as service:
+            with pytest.raises(ToneMapError):
+                ToneMapIngestor(service, max_delay_ms=-1)
+            with pytest.raises(ToneMapError):
+                ToneMapIngestor(service, queue_limit=0)
+            with pytest.raises(ValueError):
+                ToneMapIngestor(service, policy="drop-newest")
+
+
+class TestAsyncAPI:
+    def test_submit_async_returns_output(self):
+        images = scenes(4)
+
+        async def main():
+            with ToneMapService(PARAMS, batch_size=2) as service:
+                with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                    return await asyncio.gather(
+                        *[ingestor.submit_async(img) for img in images]
+                    )
+
+        outputs = asyncio.run(main())
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_submit_async_propagates_overload(self):
+        params, gate = gated_params()
+
+        async def main():
+            with ToneMapService(params, batch_size=1, max_workers=1) as service:
+                ingestor = ToneMapIngestor(
+                    service, max_delay_ms=0, queue_limit=1, policy="reject"
+                )
+                first = asyncio.ensure_future(
+                    ingestor.submit_async(scenes(1)[0])
+                )
+                # Let the first submission win the only queue slot.
+                await asyncio.sleep(0.2)
+                with pytest.raises(ServiceOverloadedError):
+                    await ingestor.submit_async(scenes(1, base=5)[0])
+                gate.set()
+                await first
+                ingestor.close()
+
+        asyncio.run(main())

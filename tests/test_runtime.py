@@ -142,3 +142,133 @@ class TestToneMapService:
         with ToneMapService(PARAMS) as service:
             with pytest.raises(ToneMapError):
                 service.map_many([np.zeros((4, 4))])
+
+    def test_run_batch_public_api(self):
+        images = scenes(3, size=16)
+        with ToneMapService(PARAMS) as service:
+            outputs = service.run_batch(images)
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_submit_batch_future(self):
+        images = scenes(2, size=16)
+        with ToneMapService(PARAMS) as service:
+            outputs = service.submit_batch(images).result(timeout=30)
+        assert len(outputs) == 2
+
+    def test_stats_batches_and_latency(self):
+        images = scenes(4, size=16)
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            service.map_many(images)
+            stats = service.stats
+        assert stats.batches == 2
+        assert stats.queue_depth == 0
+        assert stats.queue_peak >= 1
+        assert stats.latency_p50_ms > 0.0
+        assert stats.latency_p95_ms >= stats.latency_p50_ms
+        assert stats.latency_p99_ms >= stats.latency_p95_ms
+
+    def test_queue_depth_counts_queued_batches(self):
+        # Batches waiting behind the thread pool are "admitted but not
+        # finished" and must show up in queue_depth, not just the ones a
+        # worker has started executing.
+        import threading
+
+        gate = threading.Event()
+
+        def slow_blur(plane, kernel):
+            gate.wait(timeout=30)
+            from repro.tonemap.gaussian import separable_blur
+
+            return separable_blur(plane, kernel)
+
+        params = ToneMapParams(sigma=2.0, radius=6, blur_fn=slow_blur)
+        with ToneMapService(params, max_workers=1) as service:
+            futures = [
+                service.submit_batch(scenes(1, size=16)) for _ in range(3)
+            ]
+            assert service.stats.queue_depth == 3
+            assert service.stats.queue_peak == 3
+            gate.set()
+            for future in futures:
+                future.result(timeout=30)
+            assert service.stats.queue_depth == 0
+
+    def test_failed_batch_releases_queue_slot(self):
+        with ToneMapService(PARAMS) as service:
+            with pytest.raises(ToneMapError):
+                service.run_batch([])
+            assert service.stats.queue_depth == 0
+
+    def test_fixed_config_matches_blur_fn_closure(self):
+        from repro.tonemap.fixed_blur import FixedBlurConfig
+
+        images = scenes(3, size=16)
+        with ToneMapService(
+            PARAMS, fixed_config=FixedBlurConfig()
+        ) as service:
+            got = service.map_many(images)
+        closure_params = ToneMapParams(
+            sigma=2.0, radius=6, blur_fn=make_fixed_blur_fn()
+        )
+        want = BatchToneMapper(closure_params).map(images)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.pixels, w.pixels)
+
+
+class TestRunStack:
+    def test_matches_run_on_wrapped_images(self):
+        images = scenes(3, size=16)
+        stack = np.stack([image.pixels for image in images])
+        mapper = BatchToneMapper(PARAMS)
+        got = mapper.run_stack(stack)
+        want = mapper.run(images)
+        for plane, output in zip(got, want.outputs):
+            np.testing.assert_array_equal(
+                plane.astype(np.float32), output.pixels
+            )
+
+    def test_out_parameter_is_filled_and_returned(self):
+        stack = np.stack([im.pixels for im in scenes(2, size=16, color=False)])
+        out = np.empty(stack.shape, dtype=np.float32)
+        mapper = BatchToneMapper(PARAMS)
+        returned = mapper.run_stack(stack, out=out)
+        assert returned is out
+        np.testing.assert_array_equal(
+            out, mapper.run_stack(stack).astype(np.float32)
+        )
+
+    def test_bad_shapes_rejected(self):
+        mapper = BatchToneMapper(PARAMS)
+        with pytest.raises(ToneMapError):
+            mapper.run_stack(np.zeros((8, 8)))
+        with pytest.raises(ToneMapError):
+            mapper.run_stack(np.zeros((2, 8, 8, 4)))
+        with pytest.raises(ToneMapError):
+            mapper.run_stack(
+                np.zeros((2, 8, 8)), out=np.zeros((3, 8, 8), dtype=np.float32)
+            )
+
+    def test_batched_blur_fn_protocol_used(self):
+        # A blur_fn exposing .blur_batch must be called once per stack,
+        # not once per plane.
+        calls = {"batch": 0, "plane": 0}
+
+        def plane_fn(plane, kernel):
+            calls["plane"] += 1
+            from repro.tonemap.gaussian import separable_blur
+
+            return separable_blur(plane, kernel)
+
+        def batch_fn(planes, kernel):
+            calls["batch"] += 1
+            from repro.tonemap.gaussian import blur_batch
+
+            return blur_batch(planes, kernel)
+
+        plane_fn.blur_batch = batch_fn
+        params = ToneMapParams(sigma=2.0, radius=6, blur_fn=plane_fn)
+        BatchToneMapper(params).run(scenes(3, size=16))
+        assert calls["batch"] == 1
+        assert calls["plane"] == 0

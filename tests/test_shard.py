@@ -1,0 +1,153 @@
+"""Tests for repro.runtime.shard: process sharding over shared memory.
+
+Every correctness assertion is bit-identity against the in-process path —
+the sharded backend re-runs the same stack code, so "close" is never good
+enough.  Pools are kept small (1–3 workers) to stay fast on CI runners.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToneMapError
+from repro.image.synthetic import SceneParams, make_scene
+from repro.runtime import BatchToneMapper, ShardPool, ToneMapService
+from repro.runtime.shard import _slab_bounds
+from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
+from repro.tonemap.pipeline import ToneMapParams
+
+PARAMS = ToneMapParams(sigma=2.0, radius=6)
+
+
+def scenes(count, size=24, color=True, base=100):
+    return [
+        make_scene(
+            "window_interior",
+            SceneParams(height=size, width=size, seed=base + i, color=color),
+        )
+        for i in range(count)
+    ]
+
+
+class TestSlabBounds:
+    def test_even_split(self):
+        assert _slab_bounds(8, 2) == [(0, 4), (4, 8)]
+
+    def test_remainder_spread_over_leading_slabs(self):
+        assert _slab_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_shards_than_images(self):
+        assert _slab_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_bounds_partition_exactly(self):
+        for count in (1, 5, 16):
+            for shards in (1, 2, 3, 7):
+                bounds = _slab_bounds(count, shards)
+                assert bounds[0][0] == 0 and bounds[-1][1] == count
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+
+
+@pytest.fixture(scope="module")
+def float_pool():
+    with ShardPool(PARAMS, shards=2) as pool:
+        yield pool
+
+
+class TestShardPool:
+    @pytest.mark.parametrize("color", [True, False], ids=["rgb", "gray"])
+    def test_bit_identical_to_batch_mapper(self, float_pool, color):
+        images = scenes(5, color=color)
+        got = float_pool.run_batch(images)
+        want = BatchToneMapper(PARAMS).map(images)
+        assert [o.name for o in got] == [o.name for o in want]
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.pixels, w.pixels)
+
+    def test_fixed_config_bit_identical(self):
+        images = scenes(4)
+        config = FixedBlurConfig()
+        with ShardPool(PARAMS, shards=3, fixed_config=config) as pool:
+            got = pool.run_batch(images)
+        reference = BatchToneMapper(
+            ToneMapParams(
+                sigma=PARAMS.sigma,
+                radius=PARAMS.radius,
+                blur_fn=make_fixed_blur_fn(config),
+            )
+        ).map(images)
+        for g, w in zip(got, reference):
+            np.testing.assert_array_equal(g.pixels, w.pixels)
+
+    def test_more_shards_than_images(self, float_pool):
+        # 1 image across a 2-worker pool: one slab, one worker idle.
+        images = scenes(1)
+        got = float_pool.run_batch(images)
+        want = BatchToneMapper(PARAMS).map(images)
+        np.testing.assert_array_equal(got[0].pixels, want[0].pixels)
+
+    def test_run_stack_roundtrip(self, float_pool):
+        stack = np.stack([im.pixels for im in scenes(3, color=False)])
+        got = float_pool.run_stack(stack)
+        assert got.dtype == np.float32
+        want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        np.testing.assert_array_equal(got, want)
+
+    def test_blur_closure_rejected(self):
+        params = ToneMapParams(blur_fn=make_fixed_blur_fn())
+        with pytest.raises(ToneMapError):
+            ShardPool(params, shards=2)
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ToneMapError):
+            ShardPool(PARAMS, shards=0)
+
+    def test_empty_batch_rejected(self, float_pool):
+        with pytest.raises(ToneMapError):
+            float_pool.run_batch([])
+
+    def test_mixed_shapes_rejected(self, float_pool):
+        with pytest.raises(ToneMapError):
+            float_pool.run_batch(scenes(1, size=16) + scenes(1, size=32))
+
+    def test_non_image_rejected(self, float_pool):
+        with pytest.raises(ToneMapError):
+            float_pool.run_batch([np.zeros((8, 8))])
+
+    def test_bad_stack_rank_rejected(self, float_pool):
+        with pytest.raises(ToneMapError):
+            float_pool.run_stack(np.zeros((8, 8)))
+
+
+class TestServiceSharding:
+    def test_sharded_service_matches_local(self):
+        images = scenes(3, size=16) + scenes(3, size=24) + scenes(2, size=16)
+        with ToneMapService(PARAMS, batch_size=2, shards=2) as sharded:
+            got = sharded.map_many(images)
+            stats = sharded.stats
+        with ToneMapService(PARAMS, batch_size=2) as local:
+            want = local.map_many(images)
+        assert stats.images == len(images)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.pixels, w.pixels)
+
+    def test_sharded_fixed_service_matches_local(self):
+        images = scenes(4, size=16)
+        config = FixedBlurConfig()
+        with ToneMapService(
+            PARAMS, batch_size=2, shards=2, fixed_config=config
+        ) as sharded:
+            got = sharded.map_many(images)
+        with ToneMapService(PARAMS, batch_size=2, fixed_config=config) as local:
+            want = local.map_many(images)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.pixels, w.pixels)
+
+    def test_shards_with_blur_closure_rejected(self):
+        params = ToneMapParams(blur_fn=make_fixed_blur_fn())
+        with pytest.raises(ToneMapError):
+            ToneMapService(params, shards=2)
+
+    def test_fixed_config_and_blur_fn_conflict_rejected(self):
+        params = ToneMapParams(blur_fn=make_fixed_blur_fn())
+        with pytest.raises(ToneMapError):
+            ToneMapService(params, fixed_config=FixedBlurConfig())

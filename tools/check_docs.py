@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Execute the fenced code blocks of the project's Markdown docs.
+
+The README and ``docs/*.md`` promise that their examples run; this script
+keeps the promise honest (CI's ``docs`` job runs it on every push).  It
+extracts fenced code blocks and executes the runnable ones:
+
+* ```` ```python ```` blocks run through ``sys.executable`` with
+  ``PYTHONPATH=src`` prepended, from the repo root;
+* ```` ```sh ```` blocks run through ``bash -euo pipefail``;
+* every other info string (```` ```text ````, ```` ```console ````, …) is
+  documentation-only and skipped.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+
+Exits non-zero on the first failing block, printing its source and
+output.  Keep doc examples small — this is a smoke test, not a benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+#: Per-block wall-clock budget; a doc example that needs longer than this
+#: belongs in the benchmark suite, not the docs.
+TIMEOUT_SECONDS = 300
+
+
+def extract_blocks(path: Path) -> list[tuple[str, int, str]]:
+    """All fenced blocks of *path* as ``(language, line, source)``."""
+    blocks = []
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = FENCE.match(line)
+        if match and language is None:
+            language = match.group(1) or "text"
+            start = number
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, start, "\n".join(lines) + "\n"))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    return blocks
+
+
+def run_block(language: str, source: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    if language == "python":
+        command = [sys.executable, "-"]
+    else:  # sh
+        command = ["bash", "-euo", "pipefail", "/dev/stdin"]
+    return subprocess.run(
+        command,
+        input=source,
+        text=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=TIMEOUT_SECONDS,
+    )
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    ran = skipped = 0
+    for name in argv:
+        path = Path(name)
+        for language, line, source in extract_blocks(path):
+            if language not in ("python", "sh"):
+                skipped += 1
+                continue
+            result = run_block(language, source)
+            if result.returncode != 0:
+                print(f"FAIL {path}:{line} ({language} block)")
+                print("--- block " + "-" * 50)
+                print(source, end="")
+                print("--- stdout " + "-" * 49)
+                print(result.stdout, end="")
+                print("--- stderr " + "-" * 49)
+                print(result.stderr, end="")
+                return 1
+            ran += 1
+            print(f"ok   {path}:{line} ({language})")
+    print(f"{ran} block(s) ran, {skipped} documentation-only block(s) skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
