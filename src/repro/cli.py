@@ -18,11 +18,14 @@ directory of .pfm/.ppm files, or synthetic scenes) through the batched
 :class:`repro.runtime.BatchToneMapper` on a
 :class:`repro.runtime.ToneMapService` thread pool and reports aggregate
 pixels/second.  ``--shards`` partitions every batch across worker
-processes; ``--max-delay-ms`` / ``--queue-limit`` / ``--policy`` stream
+processes over the persistent shared-memory arena (``--arena-slots``
+sets its depth); ``--autoscale`` (with ``--min-shards``/``--max-shards``)
+grows and shrinks the active shard set from queue-depth and p95-latency
+signals; ``--max-delay-ms`` / ``--queue-limit`` / ``--policy`` stream
 the images through the :class:`repro.runtime.ToneMapIngestor` front-end
-(deadline coalescing + bounded-queue backpressure) instead of submitting
-them as one pre-grouped workload.  See ``docs/architecture.md`` for the
-full data path.
+(deadline coalescing + bounded-queue backpressure, zero-copy into the
+arena when sharded) instead of submitting them as one pre-grouped
+workload.  See ``docs/architecture.md`` for the full data path.
 """
 
 from __future__ import annotations
@@ -108,7 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--shards", type=int, default=None,
         help="partition each batch across N worker processes "
-             "(shared-memory stacks; beats the GIL on the fixed-point glue)",
+             "(persistent shared-memory arena; beats the GIL on the "
+             "fixed-point glue)",
+    )
+    batch.add_argument(
+        "--autoscale", action="store_true",
+        help="grow/shrink the active shard set from queue-depth and "
+             "p95-latency signals (implies a shard pool)",
+    )
+    batch.add_argument(
+        "--min-shards", type=int, default=None,
+        help="autoscale floor (default: --shards, or 1)",
+    )
+    batch.add_argument(
+        "--max-shards", type=int, default=None,
+        help="autoscale ceiling (default: host CPU count)",
+    )
+    batch.add_argument(
+        "--arena-slots", type=int, default=None,
+        help="shared-memory arena depth per size class (pooled input "
+             "stacks / output-ring slabs; default 4)",
     )
     batch.add_argument(
         "--max-delay-ms", type=float, default=None,
@@ -169,17 +191,60 @@ def run_batch(args) -> None:
     from repro.tonemap.fixed_blur import FixedBlurConfig
     from repro.tonemap.pipeline import ToneMapParams
 
+    import os
+
+    from repro.runtime import AutoscalePolicy
+
     images = _batch_images(args)
     fixed_config = FixedBlurConfig() if args.fixed else None
     streaming = args.max_delay_ms is not None or args.queue_limit is not None
+    shards = args.shards
+    autoscale_policy = None
+    if not args.autoscale:
+        # Reject (don't silently ignore) knobs that only autoscaling
+        # reads: a user who set a bound expects it to bind.
+        if args.min_shards is not None or args.max_shards is not None:
+            raise SystemExit(
+                "--min-shards/--max-shards require --autoscale"
+            )
+        if args.arena_slots is not None and shards is None:
+            raise SystemExit(
+                "--arena-slots requires a shard pool (--shards or "
+                "--autoscale)"
+            )
+    else:
+        # --min-shards is the shrink floor (it may sit below the initial
+        # --shards width); --max-shards the grow ceiling.
+        floor = (
+            args.min_shards if args.min_shards is not None else (shards or 1)
+        )
+        # The initial width starts at least at the floor (asking for a
+        # floor of 4 with --shards 2 means "start with 4").
+        shards = floor if shards is None else max(shards, floor)
+        ceiling = (
+            args.max_shards
+            if args.max_shards is not None
+            else max(shards, os.cpu_count() or shards)
+        )
+        if ceiling < max(shards, floor):
+            raise SystemExit(
+                f"--max-shards ({ceiling}) must be >= --shards/--min-shards "
+                f"({max(shards, floor)})"
+            )
+        autoscale_policy = AutoscalePolicy(
+            min_shards=floor, max_shards=ceiling
+        )
     dropped = 0
     start = time.perf_counter()
     with ToneMapService(
         ToneMapParams(),
         max_workers=args.workers,
         batch_size=args.batch_size,
-        shards=args.shards,
+        shards=shards,
         fixed_config=fixed_config,
+        autoscale=args.autoscale,
+        autoscale_policy=autoscale_policy,
+        arena_slots=4 if args.arena_slots is None else args.arena_slots,
     ) as service:
         if streaming:
             with ToneMapIngestor(
@@ -218,7 +283,11 @@ def run_batch(args) -> None:
     print(f"  blur          : {blur_name}")
     print(f"  mode          : {mode}")
     print(f"  batch size    : {args.batch_size}")
-    print(f"  shards        : {args.shards or 1} process(es)")
+    print(f"  shards        : {shards or 1} process(es)")
+    if args.autoscale:
+        print(f"  autoscale     : active {stats.shards_active} "
+              f"(scale-ups {stats.scale_ups}, "
+              f"scale-downs {stats.scale_downs})")
     print(f"  wall time     : {elapsed:.3f} s")
     print(f"  throughput    : {stats.pixels / elapsed:,.0f} pixels/sec")
     if streaming:

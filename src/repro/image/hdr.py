@@ -56,6 +56,36 @@ class HDRImage:
         pixels.setflags(write=False)
         object.__setattr__(self, "pixels", pixels)
 
+    @classmethod
+    def adopt(cls, pixels: np.ndarray, name: str = "unnamed") -> "HDRImage":
+        """Trusted constructor: wrap an array without copying or scanning.
+
+        The public constructor defends against arbitrary caller input
+        with a full copy and two whole-array validation passes
+        (finiteness, non-negativity).  Pipeline-internal outputs satisfy
+        the invariants *by construction* — every tone-mapping stage ends
+        clipped to ``[0, 1]`` — so re-scanning and re-copying them is
+        pure per-frame overhead on the serving path.  ``adopt`` skips
+        both: the array is marked read-only and taken as-is.
+
+        Callers transfer ownership — the array (and, for a view, its
+        base) must not be written through other references afterwards.
+        Only cheap structural checks are performed; use the public
+        constructor for any data that did not just come out of the
+        pipeline.
+        """
+        pixels = np.asarray(pixels)
+        if pixels.dtype != np.float32 or pixels.ndim not in (2, 3):
+            raise ImageError(
+                "adopt expects float32 (H, W) or (H, W, 3) pipeline "
+                f"output, got {pixels.dtype} {pixels.shape}"
+            )
+        pixels.setflags(write=False)
+        image = object.__new__(cls)
+        object.__setattr__(image, "pixels", pixels)
+        object.__setattr__(image, "name", name)
+        return image
+
     # ------------------------------------------------------------------
     # Shape queries
     # ------------------------------------------------------------------

@@ -8,10 +8,19 @@ four composable stages (diagrammed in ``docs/architecture.md``):
   images into one ``(N, H, W)`` volume and runs all four pipeline stages
   as whole-batch array operations, amortizing every pass (the blur FFTs,
   and the batched fixed-point folded passes) across the batch.
+* :class:`~repro.runtime.arena.ShmArena` — the persistent shared-memory
+  data plane: pooled, size-classed input stacks plus a ring of output
+  slabs, reused across batches and handed out as reference-counted
+  zero-copy :class:`~repro.runtime.arena.ArenaLease` views (with a
+  ``materialize()`` copy fallback for consumers that outlive the ring).
 * :class:`~repro.runtime.shard.ShardPool` — partitions a batch across
-  worker processes over shared-memory pixel stacks, freeing the
-  fixed-point model's Python-level glue from the GIL; per-worker kernel
-  and coefficient-ROM caches are warmed at pool start-up.
+  worker processes over the arena's stacks, freeing the fixed-point
+  model's Python-level glue from the GIL; workers cache their segment
+  attachments and per-worker kernel / coefficient-ROM caches are warmed
+  at pool start-up.  With ``autoscale=True`` a
+  :class:`~repro.runtime.shard.ShardAutoscaler` widens/narrows the
+  active worker set from queue-depth and p95-latency signals under
+  :class:`~repro.runtime.shard.AutoscalePolicy` hysteresis.
 * :class:`~repro.runtime.service.ToneMapService` — a thread-pool front
   end that groups incoming images by shape, feeds them through batch
   mappers (optionally sharded), and reports aggregate throughput as
@@ -29,17 +38,29 @@ Wired into the CLI as ``repro-experiments batch`` (``--shards``,
 run and read it.
 """
 
+from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
 from repro.runtime.ingest import BackpressurePolicy, ToneMapIngestor
 from repro.runtime.service import ServiceStats, ToneMapService
-from repro.runtime.shard import ShardPool
+from repro.runtime.shard import (
+    AutoscalePolicy,
+    DataPlaneStats,
+    ShardAutoscaler,
+    ShardPool,
+)
 
 __all__ = [
+    "ArenaLease",
+    "ArenaStats",
+    "AutoscalePolicy",
     "BackpressurePolicy",
     "BatchToneMapper",
     "BatchToneMapResult",
+    "DataPlaneStats",
     "ServiceStats",
+    "ShardAutoscaler",
     "ShardPool",
+    "ShmArena",
     "ToneMapIngestor",
     "ToneMapService",
 ]

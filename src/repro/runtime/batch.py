@@ -117,9 +117,23 @@ class BatchToneMapper:
             out_chunk = self._run_stack(
                 np.stack([image.pixels for image in sub]),
                 masks[lo : lo + len(sub)],
+            ).astype(np.float32)
+            # Adopt (don't re-copy / re-scan) the outputs when every
+            # stage is repo-internal arithmetic: validated finite inputs
+            # cannot produce NaN/negatives through normalize, the
+            # built-in blurs, masking, and the clipped adjust, so the
+            # HDRImage invariants hold by construction and the
+            # float64->float32 store happens in the astype above exactly
+            # as the validating constructor would.  A *custom* blur_fn is
+            # outside that proof (it may emit NaN, which np.clip
+            # propagates), so its outputs keep full validation.
+            blur_fn = self.params.blur_fn
+            trusted = blur_fn is None or getattr(
+                blur_fn, "trusted_finite", False
             )
+            wrap = HDRImage.adopt if trusted else HDRImage
             outputs.extend(
-                HDRImage(out_chunk[i], name=f"{sub[i].name}:tonemapped")
+                wrap(out_chunk[i], name=f"{sub[i].name}:tonemapped")
                 for i in range(len(sub))
             )
         return BatchToneMapResult(

@@ -27,12 +27,30 @@ Admission control is a bounded queue over everything in flight
     video).  If every admitted image is already executing, the submitter
     blocks until a slot frees.
 
+**Zero-copy ingestion.**  Against a sharded service the ingestor does not
+park accepted images at all: ``submit()`` writes the frame's pixels
+straight into the batch's pooled shared-memory input stack (an arena
+lease obtained from the service, one slot per admission), so when a
+bucket flushes, the "batch" handed to the service is a pointer — segment
+name plus frame count — not a pile of arrays waiting to be stacked and
+memcpy'd.  This is the software analogue of the paper's DMA discipline:
+a frame enters the data plane once, at admission, and is never re-staged
+by the host afterwards.  Under ``shed-oldest`` a shed admission frees its
+slot by moving the newest frame into it (one frame copy on the rare
+overload path keeps the stack contiguous).  Results still resolve
+through ordinary futures: the service materializes each batch's outputs
+once (the lease-protocol safety fallback — a future's consumer cannot be
+trusted to release a slab promptly) and the per-image views are adopted
+without further copies.  In-process services keep the PR 2 park-&-stack
+behavior (``zero_copy=False``).
+
 Queue depth, its high-water mark, reject/shed counts, and end-to-end
 latency percentiles are reported on
 :class:`~repro.runtime.service.ServiceStats` via :attr:`ToneMapIngestor.stats`.
 The full data path (ingest → coalesce → shard → batch) is diagrammed in
-``docs/architecture.md``; sustained-throughput numbers are tracked by
-``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
+``docs/architecture.md``; sustained-throughput numbers and the
+copies-per-frame counters are tracked by ``benchmarks/bench_runtime.py``
+(see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -49,6 +67,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServiceOverloadedError, ToneMapError
 from repro.image.hdr import HDRImage
+from repro.runtime.arena import ArenaLease
 from repro.runtime.service import (
     LATENCY_WINDOW,
     ServiceStats,
@@ -67,22 +86,45 @@ class BackpressurePolicy(enum.Enum):
 
 @dataclass
 class _Pending:
-    """One admitted image waiting in a shape bucket."""
+    """One admitted image waiting in a shape bucket.
 
-    image: HDRImage
+    On the zero-copy path the pixels already live in the batch's arena
+    slot (``slot``) and only the name is retained; on the copy path the
+    image itself is parked until the bucket flushes.
+    """
+
+    name: str
     future: Future
     enqueued_at: float
+    image: Optional[HDRImage] = None
+    slot: int = -1
 
 
 @dataclass
 class _Bucket:
-    """Same-shape arrivals awaiting coalescing; deadline set by the oldest."""
+    """Same-shape arrivals awaiting coalescing; deadline set by the oldest.
+
+    Zero-copy buckets additionally hold the arena input stack their
+    frames were written into (``lease``); slots ``0..len(items)-1`` are
+    filled, in arrival order except after a shed compaction.
+    """
 
     items: List[_Pending] = field(default_factory=list)
+    lease: Optional[ArenaLease] = None
+    capacity: int = 0
 
     @property
     def deadline_base(self) -> float:
         return self.items[0].enqueued_at
+
+
+@dataclass
+class _Flush:
+    """One coalesced batch on its way to the service."""
+
+    items: List[_Pending]
+    lease: Optional[ArenaLease] = None
+    count: int = 0
 
 
 class ToneMapIngestor:
@@ -103,6 +145,12 @@ class ToneMapIngestor:
         beyond it trigger ``policy``.
     policy:
         A :class:`BackpressurePolicy` (or its string value).
+    zero_copy:
+        Write admitted frames straight into the service's shared-memory
+        arena instead of parking them (see the module docstring).
+        Defaults to on exactly when the service is sharded — the arena
+        belongs to the shard pool; requesting it against an in-process
+        service raises.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -113,6 +161,7 @@ class ToneMapIngestor:
         max_delay_ms: float = 5.0,
         queue_limit: int = 64,
         policy: Union[BackpressurePolicy, str] = BackpressurePolicy.BLOCK,
+        zero_copy: Optional[bool] = None,
     ):
         if max_delay_ms < 0:
             raise ToneMapError(
@@ -120,11 +169,20 @@ class ToneMapIngestor:
             )
         if queue_limit < 1:
             raise ToneMapError(f"queue_limit must be >= 1, got {queue_limit}")
+        if zero_copy is None:
+            zero_copy = service.pool is not None
+        elif zero_copy and service.pool is None:
+            raise ToneMapError(
+                "zero-copy ingest requires a sharded service "
+                "(construct ToneMapService with shards=N)"
+            )
         self.service = service
         self.max_delay = max_delay_ms / 1e3
         self.queue_limit = queue_limit
         self.policy = BackpressurePolicy(policy)
+        self.zero_copy = bool(zero_copy)
 
+        self._ready_full: deque = deque()
         self._lock = threading.Lock()
         self._arrived = threading.Condition(self._lock)
         self._space = threading.Condition(self._lock)
@@ -147,7 +205,9 @@ class ToneMapIngestor:
         """Admit one image (blocking API); resolves to its output.
 
         Applies the backpressure policy when ``queue_limit`` images are in
-        flight, then parks the image in its shape bucket for coalescing.
+        flight, then either writes the frame into its batch's arena slot
+        (zero-copy path — the one producer write the frame ever gets) or
+        parks the image in its shape bucket for coalescing.
         """
         if not isinstance(image, HDRImage):
             raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
@@ -171,13 +231,39 @@ class ToneMapIngestor:
                 self._space.wait()
                 if self._closed:
                     raise ToneMapError("ingestor is closed")
-            pending = _Pending(image, Future(), time.perf_counter())
-            bucket = self._buckets.setdefault(image.pixels.shape, _Bucket())
-            bucket.items.append(pending)
+            pending = _Pending(image.name, Future(), time.perf_counter())
+            shape = image.pixels.shape
+            bucket = self._buckets.setdefault(shape, _Bucket())
+            if self.zero_copy:
+                if bucket.lease is None:
+                    bucket.lease = self.service.lease_input(shape)
+                    bucket.capacity = bucket.lease.array.shape[0]
+                pending.slot = len(bucket.items)
+                # The producer write: the frame enters shared memory here
+                # and is never re-staged (stacked/memcpy'd) afterwards.
+                # Done under the ingestor lock deliberately: CPython's
+                # GIL serializes concurrent producers' memcpys anyway, so
+                # moving the write outside would buy no parallelism while
+                # costing a slot-reservation protocol against shed
+                # compaction and deadline flushes of half-written slots.
+                bucket.lease.array[pending.slot] = image.pixels
+                bucket.items.append(pending)
+                if len(bucket.items) >= bucket.capacity:
+                    self._ready_full.append(self._close_bucket_locked(shape))
+            else:
+                pending.image = image
+                bucket.items.append(pending)
             self._in_flight += 1
             self._queue_peak = max(self._queue_peak, self._in_flight)
             self._arrived.notify()
         return pending.future
+
+    def _close_bucket_locked(self, shape: tuple) -> _Flush:
+        """Seal a zero-copy bucket into a flush; a fresh bucket takes over."""
+        bucket = self._buckets.pop(shape)
+        return _Flush(
+            items=bucket.items, lease=bucket.lease, count=len(bucket.items)
+        )
 
     async def submit_async(self, image: HDRImage) -> HDRImage:
         """Admit one image from an event loop; returns the output.
@@ -204,7 +290,7 @@ class ToneMapIngestor:
     # Coalescing
     # ------------------------------------------------------------------
     def _shed_oldest_locked(self) -> bool:
-        """Drop the oldest undispatched submission; True if one was shed."""
+        """Drop the oldest still-coalescing submission; True if one was shed."""
         oldest_shape = None
         oldest_at = None
         for shape, bucket in self._buckets.items():
@@ -217,7 +303,19 @@ class ToneMapIngestor:
             return False
         bucket = self._buckets[oldest_shape]
         victim = bucket.items.pop(0)
+        if bucket.lease is not None and bucket.items:
+            # Keep the arena stack contiguous: slots must stay {0..n-1},
+            # so the top slot's frame moves into the freed slot (one
+            # frame copy, overload-only).  No-op when the victim held the
+            # top slot itself.
+            top = len(bucket.items)
+            if victim.slot != top:
+                tail = next(p for p in bucket.items if p.slot == top)
+                bucket.lease.array[victim.slot] = bucket.lease.array[top]
+                tail.slot = victim.slot
         if not bucket.items:
+            if bucket.lease is not None:
+                bucket.lease.release()
             del self._buckets[oldest_shape]
         self._in_flight -= 1
         self._shed += 1
@@ -229,24 +327,46 @@ class ToneMapIngestor:
         )
         return True
 
-    def _ready_batches_locked(self, flush_all: bool) -> List[List[_Pending]]:
-        """Pop every bucket that is full or past its deadline."""
+    def _ready_batches_locked(self, flush_all: bool) -> List[_Flush]:
+        """Pop every batch that is full or past its deadline.
+
+        Full zero-copy batches were already sealed at submit time (the
+        bucket rotates the moment its arena stack fills); here they are
+        drained alongside deadline-expired partials.
+        """
         now = time.perf_counter()
         batch_size = self.service.batch_size
-        ready: List[List[_Pending]] = []
+        ready: List[_Flush] = []
+        while self._ready_full:
+            ready.append(self._ready_full.popleft())
         for shape in list(self._buckets):
             bucket = self._buckets[shape]
-            while len(bucket.items) >= batch_size:
-                ready.append(bucket.items[:batch_size])
-                bucket.items = bucket.items[batch_size:]
+            if bucket.lease is None:
+                while len(bucket.items) >= batch_size:
+                    ready.append(
+                        _Flush(
+                            items=bucket.items[:batch_size],
+                            count=batch_size,
+                        )
+                    )
+                    bucket.items = bucket.items[batch_size:]
             expired = (
                 bucket.items
                 and now - bucket.deadline_base >= self.max_delay
             )
             if bucket.items and (flush_all or expired):
-                ready.append(bucket.items)
+                ready.append(
+                    _Flush(
+                        items=bucket.items,
+                        lease=bucket.lease,
+                        count=len(bucket.items),
+                    )
+                )
                 bucket.items = []
+                bucket.lease = None
             if not bucket.items:
+                if bucket.lease is not None:  # pragma: no cover - defensive
+                    bucket.lease.release()
                 del self._buckets[shape]
         return ready
 
@@ -278,21 +398,43 @@ class ToneMapIngestor:
             for batch in batches:
                 self._dispatch(batch)
             with self._lock:
-                if self._closed and not self._buckets:
+                if (
+                    self._closed
+                    and not self._buckets
+                    and not self._ready_full
+                ):
                     return
 
-    def _dispatch(self, batch: List[_Pending]) -> None:
-        """Hand one coalesced batch to the service; fan results back out."""
+    def _dispatch(self, flush: _Flush) -> None:
+        """Hand one coalesced batch to the service; fan results back out.
+
+        Zero-copy flushes are a pointer hand-off: the service takes
+        ownership of the arena lease (and releases it), the ingestor only
+        forwards slot names.  If submission itself fails, the lease is
+        released here so an overloaded shutdown cannot strand a slab.
+        """
         try:
-            future = self.service.submit_batch([p.image for p in batch])
+            if flush.lease is not None:
+                names: List[Optional[str]] = [None] * flush.count
+                for pending in flush.items:
+                    names[pending.slot] = pending.name
+                future = self.service.submit_stack(
+                    flush.lease, flush.count, names
+                )
+            else:
+                future = self.service.submit_batch(
+                    [p.image for p in flush.items]
+                )
         except BaseException as exc:  # pool shut down, etc.
-            self._complete(batch, None, exc)
+            if flush.lease is not None:
+                flush.lease.release()
+            self._complete(flush, None, exc)
             return
         future.add_done_callback(
-            lambda f: self._complete(batch, f.result, f.exception())
+            lambda f: self._complete(flush, f.result, f.exception())
         )
 
-    def _complete(self, batch, result_fn, exc) -> None:
+    def _complete(self, flush: _Flush, result_fn, exc) -> None:
         outputs = None if exc is not None else result_fn()
         done_at = time.perf_counter()
         # Resolve the futures *before* releasing the queue slots: close()
@@ -301,20 +443,23 @@ class ToneMapIngestor:
         # caller cancelled while it waited raises InvalidStateError on
         # set_* — its result is simply dropped, but it must not prevent the
         # rest of the batch from resolving.
-        for index, pending in enumerate(batch):
+        for index, pending in enumerate(flush.items):
             try:
                 if exc is not None:
                     pending.future.set_exception(exc)
                 else:
-                    pending.future.set_result(outputs[index])
+                    # Zero-copy outputs are ordered by arena slot; parked
+                    # batches by position.
+                    position = pending.slot if flush.lease is not None else index
+                    pending.future.set_result(outputs[position])
             except futures_module.InvalidStateError:
                 pass
         with self._lock:
-            for pending in batch:
+            for pending in flush.items:
                 self._latencies_ms.append(
                     (done_at - pending.enqueued_at) * 1e3
                 )
-            self._in_flight -= len(batch)
+            self._in_flight -= len(flush.items)
             self._space.notify_all()
 
     # ------------------------------------------------------------------

@@ -33,10 +33,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import ToneMapError
 from repro.image.hdr import HDRImage
+from repro.runtime.arena import ArenaLease
 from repro.runtime.batch import BatchToneMapper
-from repro.runtime.shard import ShardPool
+from repro.runtime.shard import AutoscalePolicy, ShardPool
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
 
@@ -84,6 +87,12 @@ class ServiceStats:
         Percentiles over a sliding window of recent completion latencies
         (:data:`LATENCY_WINDOW` samples): batch execution time for the
         bare service, per-image submit-to-result time for the ingestor.
+    shards_active:
+        Worker processes batches currently fan out across (0 without a
+        shard pool).  Moves between the configured bounds when
+        autoscaling is on.
+    scale_ups / scale_downs:
+        Autoscaler decisions applied so far.
     """
 
     images: int = 0
@@ -97,6 +106,9 @@ class ServiceStats:
     latency_p50_ms: float = 0.0
     latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
+    shards_active: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     @property
     def pixels_per_sec(self) -> float:
@@ -129,6 +141,18 @@ class ToneMapService:
         ``blur_fn=make_fixed_blur_fn(fixed_config)`` in-process, and the
         only way to request fixed point from sharded workers (closures do
         not pickle).
+    autoscale:
+        Grow/shrink the active shard set from queue-depth and p95-latency
+        signals (hysteresis per
+        :class:`~repro.runtime.shard.AutoscalePolicy`).  Implies a shard
+        pool; ``shards`` (default 1) is the floor, ``max_shards``
+        (default: host CPU count) the ceiling.
+    max_shards / autoscale_policy:
+        Autoscaler bounds / full policy override (see
+        :class:`~repro.runtime.shard.ShardPool`).
+    arena_slots:
+        Depth of the pool's shared-memory arena per size class (see
+        :class:`~repro.runtime.arena.ShmArena`).
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -140,6 +164,10 @@ class ToneMapService:
         batch_size: int = 8,
         shards: Optional[int] = None,
         fixed_config: Optional[FixedBlurConfig] = None,
+        autoscale: bool = False,
+        max_shards: Optional[int] = None,
+        autoscale_policy: Optional[AutoscalePolicy] = None,
+        arena_slots: int = 4,
     ):
         if batch_size < 1:
             raise ToneMapError(f"batch_size must be >= 1, got {batch_size}")
@@ -147,13 +175,21 @@ class ToneMapService:
             raise ToneMapError(
                 "pass either params.blur_fn or fixed_config, not both"
             )
+        if autoscale and shards is None:
+            shards = 1
         self.params = params
         self.batch_size = batch_size
         self.shards = shards
         self._pool: Optional[ShardPool] = None
         if shards is not None:
             self._pool = ShardPool(
-                params, shards=shards, fixed_config=fixed_config
+                params,
+                shards=shards,
+                fixed_config=fixed_config,
+                autoscale=autoscale,
+                max_shards=max_shards,
+                policy=autoscale_policy,
+                arena_slots=arena_slots,
             )
         local_params = params
         if fixed_config is not None:
@@ -192,6 +228,38 @@ class ToneMapService:
         self._admit_batch()
         return self._run_admitted(images)
 
+    def _abort_batch(self) -> None:
+        """Undo :meth:`_admit_batch` for a batch that failed."""
+        with self._lock:
+            self._stats = replace(
+                self._stats, queue_depth=self._stats.queue_depth - 1
+            )
+
+    def _finish_batch(self, start: float, images: int, pixels: int) -> None:
+        """Record one completed batch and feed the pool's autoscaler."""
+        elapsed = time.perf_counter() - start
+        # Sorting the latency window costs O(W log W) under the lock, so
+        # pay it only when an autoscaler actually consumes the p95.
+        wants_p95 = self._pool is not None and self._pool.autoscaling
+        with self._lock:
+            self._latencies_ms.append(elapsed * 1e3)
+            self._stats = replace(
+                self._stats,
+                images=self._stats.images + images,
+                pixels=self._stats.pixels + pixels,
+                seconds=self._stats.seconds + elapsed,
+                batches=self._stats.batches + 1,
+                queue_depth=self._stats.queue_depth - 1,
+            )
+            depth = self._stats.queue_depth
+            p95_ms = (
+                _percentile(sorted(self._latencies_ms), 0.95)
+                if wants_p95
+                else None
+            )
+        if self._pool is not None:
+            self._pool.observe(depth, p95_ms)
+
     def _run_admitted(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
         """Execute one batch already counted by :meth:`_admit_batch`."""
         start = time.perf_counter()
@@ -207,23 +275,78 @@ class ToneMapService:
                 outputs = result.outputs
                 pixels = result.pixels
         except BaseException:
-            with self._lock:
-                self._stats = replace(
-                    self._stats, queue_depth=self._stats.queue_depth - 1
-                )
+            self._abort_batch()
             raise
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            self._latencies_ms.append(elapsed * 1e3)
-            self._stats = replace(
-                self._stats,
-                images=self._stats.images + len(images),
-                pixels=self._stats.pixels + pixels,
-                seconds=self._stats.seconds + elapsed,
-                batches=self._stats.batches + 1,
-                queue_depth=self._stats.queue_depth - 1,
-            )
+        self._finish_batch(start, len(images), pixels)
         return outputs
+
+    def _run_leased_admitted(
+        self, in_lease: ArenaLease, count: int, names: Sequence[str]
+    ) -> tuple[HDRImage, ...]:
+        """Execute one arena-resident batch (zero-copy ingest path).
+
+        Owns ``in_lease`` — released on every exit path.  The outputs are
+        materialized once (the futures safety fallback: a future's
+        consumer cannot be trusted to release a lease promptly) and fanned
+        out as adopted, copy-free views of that one buffer.
+        """
+        start = time.perf_counter()
+        try:
+            try:
+                out_lease = self._pool.run_leased(in_lease, count)
+            finally:
+                in_lease.release()
+            out = out_lease.materialize()
+            outputs = tuple(
+                HDRImage.adopt(out[i], name=f"{names[i]}:tonemapped")
+                for i in range(count)
+            )
+            pixels = count * int(out.shape[1]) * int(out.shape[2])
+        except BaseException:
+            self._abort_batch()
+            raise
+        self._finish_batch(start, count, pixels)
+        return outputs
+
+    def submit_stack(
+        self, in_lease: ArenaLease, count: int, names: Sequence[str]
+    ) -> "Future[tuple[HDRImage, ...]]":
+        """Queue an arena-resident stack: zero-copy batch admission.
+
+        ``in_lease`` must view a stack whose first ``count`` frames were
+        written by the producer (the ingestor fills slots at ``submit()``
+        time); ``names`` labels each frame slot.  The service takes
+        ownership of the lease once this returns.  Requires a sharded
+        service — the arena belongs to the pool.
+        """
+        if self._pool is None:
+            raise ToneMapError(
+                "zero-copy stack admission requires a sharded service "
+                "(construct with shards=N)"
+            )
+        self._admit_batch()
+        try:
+            return self._executor.submit(
+                self._run_leased_admitted, in_lease, count, list(names)
+            )
+        except BaseException:
+            self._abort_batch()
+            raise
+
+    def lease_input(self, frame_shape: tuple) -> ArenaLease:
+        """Lease an arena input stack sized for one coalesced batch.
+
+        Producers write frames into ``lease.array[slot]`` and hand the
+        lease to :meth:`submit_stack`.
+        """
+        if self._pool is None:
+            raise ToneMapError(
+                "zero-copy leasing requires a sharded service "
+                "(construct with shards=N)"
+            )
+        return self._pool.lease_input(
+            (self.batch_size,) + tuple(frame_shape), np.float32
+        )
 
     def submit_batch(
         self, images: Sequence[HDRImage]
@@ -234,12 +357,24 @@ class ToneMapService:
         behind the thread pool is still "admitted but not finished".
         """
         self._admit_batch()
-        return self._executor.submit(self._run_admitted, list(images))
+        try:
+            return self._executor.submit(self._run_admitted, list(images))
+        except BaseException:
+            # Executor shut down mid-submit: the batch never entered the
+            # pool, so it must not haunt queue_depth forever.
+            self._abort_batch()
+            raise
 
     def submit(self, image: HDRImage) -> "Future[HDRImage]":
         """Queue a single image; resolves to its tone-mapped output."""
         self._admit_batch()
-        return self._executor.submit(lambda: self._run_admitted([image])[0])
+        try:
+            return self._executor.submit(
+                lambda: self._run_admitted([image])[0]
+            )
+        except BaseException:
+            self._abort_batch()
+            raise
 
     def map_many(self, images: Sequence[HDRImage]) -> list[HDRImage]:
         """Tone-map many images, preserving input order.
@@ -275,16 +410,29 @@ class ToneMapService:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     @property
+    def pool(self) -> Optional[ShardPool]:
+        """The shard pool backing this service (``None`` in-process)."""
+        return self._pool
+
+    @property
     def stats(self) -> ServiceStats:
         """A snapshot of the aggregate counters (latency = batch run time)."""
         with self._lock:
             ordered = sorted(self._latencies_ms)
-            return replace(
+            snapshot = replace(
                 self._stats,
                 latency_p50_ms=_percentile(ordered, 0.50),
                 latency_p95_ms=_percentile(ordered, 0.95),
                 latency_p99_ms=_percentile(ordered, 0.99),
             )
+        if self._pool is not None:
+            snapshot = replace(
+                snapshot,
+                shards_active=self._pool.active_shards,
+                scale_ups=self._pool.scale_ups,
+                scale_downs=self._pool.scale_downs,
+            )
+        return snapshot
 
     def close(self) -> None:
         """Shut the pools down, waiting for queued work."""

@@ -1,49 +1,103 @@
-"""Process-pool sharding backend: batches partitioned across workers.
+"""Process-pool sharding backend over a persistent shared-memory arena.
 
 The thread-pooled :class:`~repro.runtime.service.ToneMapService` overlaps
 the NumPy stages (which release the GIL), but the fixed-point model still
 carries Python-level glue — the tap loop, quantization bookkeeping — that
 serializes on the GIL.  :class:`ShardPool` escapes it: a batch's
-``(N, H, W[, 3])`` pixel stack is placed in POSIX shared memory, the N
-images are partitioned into contiguous slabs, and each slab is tone-mapped
-by a separate **worker process** that writes its results straight back
-into a shared output stack.  Only shared-memory names and slab bounds
-cross the process boundary — never pixel data.
+``(N, H, W[, 3])`` pixel stack lives in a POSIX shared-memory segment,
+the N images are partitioned into contiguous slabs, and each slab is
+tone-mapped by a separate **worker process** that writes its results
+straight back into a shared output slab.  Only segment names and slab
+bounds cross the process boundary — never pixel data.
+
+Unlike the PR 2 incarnation, segments are *persistent*: the pool owns a
+:class:`~repro.runtime.arena.ShmArena` whose pooled input stacks and
+output-slab ring are reused across batches, so steady-state serving does
+zero SHM allocations and zero parent-side staging copies.  The data
+plane has three entry points, fastest first:
+
+* :meth:`run_leased` — fully zero-copy: the producer already wrote the
+  frames into an arena input stack (leased via ``pool.arena`` or
+  :meth:`lease_input`); results come back as a reference-counted
+  :class:`~repro.runtime.arena.ArenaLease` view.  The streaming ingestor
+  uses this path.
+* :meth:`run_stack` — one staging copy in (the caller holds an ordinary
+  array); zero-copy out with ``zero_copy=True``, else one materialize
+  copy for safety.
+* :meth:`run_batch` — the :class:`HDRImage` convenience; frames are
+  written into the arena one by one (no intermediate ``np.stack``) and
+  outputs are adopted views into one materialized buffer.
+
+Workers attach to a segment **once** and cache the mapping by name —
+valid for the life of the arena, because pooled segments are only
+unlinked at :meth:`close`.  Attachment never touches the resource
+tracker: under the default ``fork`` start method the tracker process is
+*shared* with the parent, so the historical attach-then-unregister dance
+removed the parent's own registration — unlink then logged a KeyError
+storm in the tracker and, had the parent died first, the segment would
+have leaked in ``/dev/shm``.  ``tests/test_arena.py`` scans ``/dev/shm``
+to keep the no-leak property honest.
 
 Each worker holds its own :class:`~repro.runtime.batch.BatchToneMapper`,
-so the per-kernel Gaussian coefficients and (for fixed-point configs) the
-quantized coefficient ROM are built once per process at pool start-up and
-reused for every slab.  Because ``blur_fn`` closures do not pickle, the
-fixed-point path is requested by shipping the frozen, picklable
-:class:`~repro.tonemap.fixed_blur.FixedBlurConfig` instead; workers
-rebuild the closure with :func:`~repro.tonemap.fixed_blur.make_fixed_blur_fn`.
+so per-kernel Gaussian coefficients and (for fixed-point configs) the
+quantized coefficient ROM are built once per process at pool start-up.
+Because ``blur_fn`` closures do not pickle, the fixed-point path is
+requested by shipping the frozen, picklable
+:class:`~repro.tonemap.fixed_blur.FixedBlurConfig` instead.
 
-Outputs are bit-identical to the in-process
+**Autoscaling.**  With ``autoscale=True`` the pool starts ``max_shards``
+worker processes eagerly (they are cheap, warm, and never forked after
+caller threads exist) but fans batches out across only
+:attr:`active_shards` of them.  :class:`ShardAutoscaler` widens the
+active set when queue depth or p95 latency shows sustained pressure and
+narrows it after sustained idleness — both with hysteresis
+(:class:`AutoscalePolicy`), so a single burst does not flap the width.
+Parked workers cost memory, not CPU; narrowing keeps cache-hot workers
+busy instead of spraying small slabs across cold ones.  The service
+feeds observations after every batch and surfaces the active width via
+``ServiceStats``.
+
+Outputs remain bit-identical to the in-process
 :class:`~repro.runtime.batch.BatchToneMapper` path: workers run the same
 stack code (:meth:`BatchToneMapper.run_stack`) and the float64→float32
-store happens once either way.  Throughput of the sharded path is tracked
-by ``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
+store happens once either way.  Throughput and the zero-copy counters
+are tracked by ``benchmarks/bench_runtime.py`` (see
+``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing as mp
+import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
+import threading
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ToneMapError
 from repro.image.hdr import HDRImage
+from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
 from repro.runtime.batch import BatchToneMapper
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
 
 #: Worker-process global: the per-process mapper with warm caches.
 _WORKER_MAPPER: Optional[BatchToneMapper] = None
+
+#: Worker-process global: cached attachments to pooled arena segments,
+#: keyed by POSIX name.  Pooled segments live until the arena closes, so
+#: a cached mapping never goes stale; transient segments bypass this.
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Python 3.13+ can attach without registering with the resource tracker.
+_SHM_HAS_TRACK = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
 
 
 def _init_worker(
@@ -64,39 +118,70 @@ def _worker_ready() -> bool:
     return _WORKER_MAPPER is not None
 
 
-def _attach(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment without re-registering it.
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without touching the resource tracker.
 
-    Before Python 3.13 (``track=False``), attaching registers the segment
-    with this process's resource tracker a second time; the parent — which
-    created the segment and owns its lifetime — already unlinks it, so the
-    duplicate registration only produces spurious "leaked shared_memory"
-    warnings at worker shutdown.  Undo it (best-effort: the private API
-    may move).
+    The parent created the segment and owns its lifetime; it is already
+    registered with the tracker there.  Under ``fork`` the tracker
+    process is shared, so letting the attach register (and then
+    unregistering, as the old code did) would delete the *parent's*
+    registration: unlink later double-unregisters (KeyError noise in the
+    tracker) and a parent crash before unlink would leak the segment.
+    Python 3.13 exposes ``track=False`` for exactly this; earlier
+    versions need the register call suppressed for the duration.
     """
-    shm = shared_memory.SharedMemory(name=name)
-    try:
-        from multiprocessing import resource_tracker
+    if _SHM_HAS_TRACK:
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
-    return shm
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _attach(name: str, cacheable: bool) -> shared_memory.SharedMemory:
+    """Attach to a segment, caching pooled attachments for the pool's life."""
+    if cacheable:
+        shm = _WORKER_SEGMENTS.get(name)
+        if shm is None:
+            shm = _attach_untracked(name)
+            _WORKER_SEGMENTS[name] = shm
+        return shm
+    return _attach_untracked(name)
 
 
 def _run_slab(
-    in_name: str, out_name: str, shape: tuple, lo: int, hi: int
+    in_name: str,
+    out_name: str,
+    shape: tuple,
+    lo: int,
+    hi: int,
+    in_cacheable: bool,
+    out_cacheable: bool,
 ) -> tuple[int, int]:
-    """Tone-map images ``lo:hi`` of the shared input stack in this worker."""
-    in_shm = _attach(in_name)
-    out_shm = _attach(out_name)
+    """Tone-map images ``lo:hi`` of the shared input stack in this worker.
+
+    Robust against mid-flight errors: a transient attachment is closed on
+    every exit path, and a failure before the output attach never leaks
+    the input attachment.  Cached attachments are owned by the process
+    and intentionally survive.
+    """
+    in_shm = _attach(in_name, in_cacheable)
     try:
-        stack = np.ndarray(shape, dtype=np.float32, buffer=in_shm.buf)
-        out = np.ndarray(shape, dtype=np.float32, buffer=out_shm.buf)
-        _WORKER_MAPPER.run_stack(stack[lo:hi], out=out[lo:hi])
+        out_shm = _attach(out_name, out_cacheable)
+        try:
+            stack = np.ndarray(shape, dtype=np.float32, buffer=in_shm.buf)
+            out = np.ndarray(shape, dtype=np.float32, buffer=out_shm.buf)
+            _WORKER_MAPPER.run_stack(stack[lo:hi], out=out[lo:hi])
+        finally:
+            if not out_cacheable:
+                out_shm.close()
     finally:
-        in_shm.close()
-        out_shm.close()
+        if not in_cacheable:
+            in_shm.close()
     return lo, hi
 
 
@@ -113,6 +198,114 @@ def _slab_bounds(count: int, shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+# ----------------------------------------------------------------------
+# Autoscaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """When the autoscaler widens or narrows the active shard set.
+
+    Pressure (grow signal) is queue depth exceeding the active width —
+    batches are waiting that an extra shard could absorb — or, when
+    ``target_p95_ms`` is set, the p95 batch latency exceeding it.
+    Idleness (shrink signal) is queue depth below the active width with
+    no pressure.  Hysteresis: a grow needs ``grow_patience`` consecutive
+    pressure observations, a shrink ``shrink_patience`` consecutive idle
+    ones, and any contradicting observation resets both counters — so a
+    lone burst or a lone quiet beat never flaps the width.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 2
+    target_p95_ms: Optional[float] = None
+    grow_patience: int = 2
+    shrink_patience: int = 6
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ToneMapError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ToneMapError(
+                f"max_shards ({self.max_shards}) must be >= min_shards "
+                f"({self.min_shards})"
+            )
+        if self.grow_patience < 1 or self.shrink_patience < 1:
+            raise ToneMapError("autoscale patience values must be >= 1")
+
+
+class ShardAutoscaler:
+    """Pure hysteresis logic: observations in, target width out.
+
+    Deterministic and free of clocks or threads so tests can drive it
+    observation by observation; :class:`ShardPool` owns the single
+    instance and applies its decisions.
+    """
+
+    def __init__(self, policy: AutoscalePolicy):
+        self.policy = policy
+        self._hot = 0
+        self._cold = 0
+
+    def observe(
+        self, active: int, queue_depth: int, p95_ms: Optional[float] = None
+    ) -> int:
+        """Feed one observation; returns the new target active width."""
+        policy = self.policy
+        pressure = queue_depth > active or (
+            policy.target_p95_ms is not None
+            and p95_ms is not None
+            and p95_ms > policy.target_p95_ms
+        )
+        idle = not pressure and queue_depth < active
+        if pressure:
+            self._hot += 1
+            self._cold = 0
+        elif idle:
+            self._cold += 1
+            self._hot = 0
+        else:
+            self._hot = 0
+            self._cold = 0
+        if self._hot >= policy.grow_patience and active < policy.max_shards:
+            self._hot = 0
+            return active + 1
+        if self._cold >= policy.shrink_patience and active > policy.min_shards:
+            self._cold = 0
+            return active - 1
+        return min(max(active, policy.min_shards), policy.max_shards)
+
+
+@dataclass(frozen=True)
+class DataPlaneStats:
+    """Per-pool data-plane counters (arena counters plus batch count).
+
+    ``copies_per_frame`` is the headline number: parent-side staging
+    bytes (copy-in plus materialize) per frame served, as a fraction of
+    the frame size.  The PR 2 cycle measured 3.0 (stack, copy-in, copy
+    out — and a fourth inside ``HDRImage``); the zero-copy path measures
+    0.0.
+    """
+
+    batches: int = 0
+    frames: int = 0
+    bytes_served: int = 0
+    arena: ArenaStats = ArenaStats()
+
+    @property
+    def copies_per_frame(self) -> float:
+        """Staging bytes per frame-byte served (3.0 legacy, 0.0 zero-copy)."""
+        if self.bytes_served <= 0:
+            return 0.0
+        return self.bytes_staged / self.bytes_served
+
+    @property
+    def bytes_staged(self) -> int:
+        """Total parent-side staging traffic (copy-in + materialize)."""
+        return self.arena.bytes_copied_in + self.arena.bytes_materialized
+
+
 class ShardPool:
     """Tone-maps batches by sharding them across worker processes.
 
@@ -123,9 +316,7 @@ class ShardPool:
         closure cannot cross the process boundary; request the fixed-point
         path with ``fixed_config`` instead.
     shards:
-        Number of worker processes.  All are started (and their caches
-        warmed) eagerly in the constructor, so no process is ever forked
-        after caller threads exist.
+        Initial (and, without autoscaling, fixed) active worker count.
     fixed_config:
         When given, every worker blurs with the bit-accurate fixed-point
         model built from this config (batched across its whole slab).
@@ -133,6 +324,23 @@ class ShardPool:
         Multiprocessing start method; defaults to ``fork`` on Linux (cheap
         start-up, inherited imports) and ``spawn`` elsewhere (forking
         after BLAS/framework threads start is unsafe on macOS).
+    autoscale:
+        Enable the queue-depth / latency autoscaler.  ``max_shards``
+        workers are started eagerly (all forked before any caller thread
+        exists); the *active* set grows and shrinks between ``shards``
+        (as minimum) and ``max_shards`` under
+        :class:`AutoscalePolicy` hysteresis.
+    max_shards:
+        Ceiling for the active set; defaults to the host's CPU count (at
+        least ``shards``).  Ignored unless ``autoscale``.
+    policy:
+        Autoscale policy override; defaults to
+        ``AutoscalePolicy(min_shards=shards, max_shards=max_shards)``.
+    arena:
+        Share an existing :class:`~repro.runtime.arena.ShmArena` instead
+        of owning one (the owner closes it).
+    arena_slots:
+        Ring/pool depth per size class for an owned arena.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -143,6 +351,11 @@ class ShardPool:
         shards: int = 2,
         fixed_config: Optional[FixedBlurConfig] = None,
         start_method: Optional[str] = None,
+        autoscale: bool = False,
+        max_shards: Optional[int] = None,
+        policy: Optional[AutoscalePolicy] = None,
+        arena: Optional[ShmArena] = None,
+        arena_slots: int = 4,
     ):
         if shards < 1:
             raise ToneMapError(f"shards must be >= 1, got {shards}")
@@ -164,65 +377,214 @@ class ShardPool:
         self.shards = shards
         self.params = params
         self.fixed_config = fixed_config
+        if autoscale:
+            if max_shards is None:
+                max_shards = max(shards, os.cpu_count() or shards)
+            if max_shards < shards:
+                raise ToneMapError(
+                    f"max_shards ({max_shards}) must be >= shards ({shards})"
+                )
+            self._policy = policy or AutoscalePolicy(
+                min_shards=shards, max_shards=max_shards
+            )
+            if not (
+                self._policy.min_shards
+                <= shards
+                <= self._policy.max_shards
+            ):
+                raise ToneMapError(
+                    f"shards ({shards}) must lie within the autoscale "
+                    f"bounds [{self._policy.min_shards}, "
+                    f"{self._policy.max_shards}] — only that many worker "
+                    "processes exist"
+                )
+            self._autoscaler: Optional[ShardAutoscaler] = ShardAutoscaler(
+                self._policy
+            )
+            workers = self._policy.max_shards
+        else:
+            self._policy = None
+            self._autoscaler = None
+            workers = shards
+        self._workers = workers
+        self._active = shards
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._scale_lock = threading.Lock()
+        self._owns_arena = arena is None
+        self.arena = arena if arena is not None else ShmArena(slots=arena_slots)
+        self._batches = 0
+        self._frames = 0
+        self._bytes_served = 0
+        self._count_lock = threading.Lock()
         self._executor = ProcessPoolExecutor(
-            max_workers=shards,
+            max_workers=workers,
             mp_context=mp.get_context(start_method),
             initializer=_init_worker,
             initargs=(params, fixed_config),
         )
         # Spawn every worker now: one pending task per worker forces the
         # executor to start all processes, and resolving the futures proves
-        # each initializer ran.
+        # each initializer ran.  No process is ever forked after caller
+        # threads exist — autoscaling only varies how many of these warm
+        # workers a batch fans out across.
         for future in [
-            self._executor.submit(_worker_ready) for _ in range(shards)
+            self._executor.submit(_worker_ready) for _ in range(workers)
         ]:
             if not future.result():  # pragma: no cover - defensive
                 raise ToneMapError("shard worker failed to initialize")
 
     # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    @property
+    def active_shards(self) -> int:
+        """Workers a batch currently fans out across."""
+        return self._active
+
+    @property
+    def autoscaling(self) -> bool:
+        """Whether :meth:`observe` feeds a live autoscaler."""
+        return self._autoscaler is not None
+
+    @property
+    def scale_ups(self) -> int:
+        return self._scale_ups
+
+    @property
+    def scale_downs(self) -> int:
+        return self._scale_downs
+
+    def observe(
+        self, queue_depth: int, p95_ms: Optional[float] = None
+    ) -> int:
+        """Feed one load observation (queue depth, optional p95 latency).
+
+        The service calls this after every batch; the pool applies the
+        autoscaler's decision and returns the (possibly new) active
+        width.  A no-op without ``autoscale=True``.
+        """
+        if self._autoscaler is None:
+            return self._active
+        with self._scale_lock:
+            target = self._autoscaler.observe(
+                self._active, queue_depth, p95_ms
+            )
+            if target > self._active:
+                self._scale_ups += 1
+            elif target < self._active:
+                self._scale_downs += 1
+            self._active = target
+            return target
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_stack(self, stack: np.ndarray) -> np.ndarray:
+    def lease_input(self, shape: tuple, dtype=np.float32) -> ArenaLease:
+        """Lease an arena input stack for producers to write frames into."""
+        return self.arena.lease_input(shape, dtype)
+
+    def run_leased(self, in_lease: ArenaLease, count: Optional[int] = None
+                   ) -> ArenaLease:
+        """Tone-map a stack already resident in the arena (zero-copy).
+
+        ``in_lease`` is an input lease whose array holds ``count`` frames
+        (default: all of them; pass fewer for a partially filled stack).
+        The caller keeps ownership of ``in_lease`` — release it when the
+        slot is no longer needed (the ingestor reuses its stack across
+        batches).  Returns an output lease viewing the results; release
+        or materialize it.
+        """
+        if in_lease.array is None:
+            raise ToneMapError("cannot run a released arena lease")
+        shape = in_lease.array.shape
+        if count is None:
+            count = shape[0]
+        if not 1 <= count <= shape[0]:
+            raise ToneMapError(
+                f"count must be in [1, {shape[0]}], got {count}"
+            )
+        run_shape = (count,) + tuple(shape[1:])
+        out_lease = self.arena.lease_output(run_shape, np.float32)
+        futures = []
+        try:
+            # Plain loop, not a comprehension: if a submit raises midway
+            # (pool shutting down), the futures already submitted must
+            # stay tracked so the except path can quiesce them.
+            for lo, hi in _slab_bounds(count, self._active):
+                futures.append(
+                    self._executor.submit(
+                        _run_slab,
+                        in_lease.segment_name,
+                        out_lease.segment_name,
+                        run_shape,
+                        lo,
+                        hi,
+                        in_lease.cacheable,
+                        out_lease.cacheable,
+                    )
+                )
+            for future in futures:
+                future.result()
+        except BaseException:
+            # Quiesce before releasing: the surviving slab workers are
+            # still writing into the output segment (and reading the
+            # input), and release would recycle it to a concurrent batch
+            # — silent cross-batch corruption.  Cancel what hasn't
+            # started, wait out what has.
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            out_lease.release()
+            raise
+        # Batches complete concurrently on the service's pool threads;
+        # the gate benchmarks divide by these, so no lost increments.
+        with self._count_lock:
+            self._batches += 1
+            self._frames += count
+            self._bytes_served += out_lease.nbytes
+        return out_lease
+
+    def run_stack(
+        self, stack: np.ndarray, zero_copy: bool = False
+    ) -> np.ndarray | ArenaLease:
         """Tone-map an ``(N, H, W[, 3])`` float stack across the shards.
 
-        Returns a float32 stack of the same shape (the :class:`HDRImage`
-        storage dtype, so wrapping the result loses nothing).
+        One staging copy moves the caller's array into a pooled arena
+        stack (callers that can write frames into :meth:`lease_input`
+        directly skip even that — see :meth:`run_leased`).  By default
+        returns a freshly materialized float32 stack, exactly as before;
+        with ``zero_copy=True`` returns the output
+        :class:`~repro.runtime.arena.ArenaLease` instead — read
+        ``lease.array`` and ``release()`` (or ``materialize()``) it.
         """
         stack = np.ascontiguousarray(stack, dtype=np.float32)
         if stack.ndim not in (3, 4):
             raise ToneMapError(
                 f"run_stack expects (N, H, W) or (N, H, W, 3), got {stack.shape}"
             )
-        count = stack.shape[0]
-        if count == 0:
+        if stack.shape[0] == 0:
             raise ToneMapError("batch must contain at least one image")
-        in_shm = shared_memory.SharedMemory(create=True, size=stack.nbytes)
-        out_shm = shared_memory.SharedMemory(create=True, size=stack.nbytes)
+        in_lease = self.arena.lease_input(stack.shape, np.float32)
         try:
-            shared_in = np.ndarray(
-                stack.shape, dtype=np.float32, buffer=in_shm.buf
-            )
-            shared_in[:] = stack
-            futures = [
-                self._executor.submit(
-                    _run_slab, in_shm.name, out_shm.name, stack.shape, lo, hi
-                )
-                for lo, hi in _slab_bounds(count, self.shards)
-            ]
-            for future in futures:
-                future.result()
-            shared_out = np.ndarray(
-                stack.shape, dtype=np.float32, buffer=out_shm.buf
-            )
-            return shared_out.copy()
+            in_lease.array[:] = stack
+            self.arena._count_copy_in(stack.nbytes)
+            out_lease = self.run_leased(in_lease)
         finally:
-            in_shm.close()
-            in_shm.unlink()
-            out_shm.close()
-            out_shm.unlink()
+            in_lease.release()
+        if zero_copy:
+            return out_lease
+        return out_lease.materialize()
 
     def run_batch(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
-        """Tone-map a same-shape batch; drop-in for ``BatchToneMapper.map``."""
+        """Tone-map a same-shape batch; drop-in for ``BatchToneMapper.map``.
+
+        Frames are written straight into an arena input stack (no
+        ``np.stack`` staging) and the outputs are read-only views into
+        one materialized result buffer (no per-image re-copy or
+        re-validation — the pipeline's output invariants hold by
+        construction).
+        """
         if len(images) == 0:
             raise ToneMapError("batch must contain at least one image")
         for image in images:
@@ -235,18 +597,41 @@ class ShardPool:
                     f"batch images must share one shape; got {shape} and "
                     f"{image.pixels.shape} (group by shape first)"
                 )
-        out = self.run_stack(np.stack([image.pixels for image in images]))
+        stack_shape = (len(images),) + shape
+        in_lease = self.arena.lease_input(stack_shape, np.float32)
+        try:
+            for i, image in enumerate(images):
+                in_lease.array[i] = image.pixels
+            self.arena._count_copy_in(
+                int(np.prod(stack_shape)) * 4
+            )
+            out = self.run_leased(in_lease).materialize()
+        finally:
+            in_lease.release()
         return tuple(
-            HDRImage(out[i], name=f"{images[i].name}:tonemapped")
+            HDRImage.adopt(out[i], name=f"{images[i].name}:tonemapped")
             for i in range(len(images))
         )
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Introspection / lifecycle
     # ------------------------------------------------------------------
+    @property
+    def data_plane_stats(self) -> DataPlaneStats:
+        """Counters proving (or disproving) the zero-copy claims."""
+        with self._count_lock:
+            return DataPlaneStats(
+                batches=self._batches,
+                frames=self._frames,
+                bytes_served=self._bytes_served,
+                arena=self.arena.stats,
+            )
+
     def close(self) -> None:
-        """Shut the worker processes down, waiting for running slabs."""
+        """Shut the workers down (waiting for running slabs), then the arena."""
         self._executor.shutdown(wait=True)
+        if self._owns_arena:
+            self.arena.close()
 
     def __enter__(self) -> "ShardPool":
         return self

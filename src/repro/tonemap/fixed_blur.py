@@ -232,7 +232,7 @@ def fixed_point_blur_batch(
 def make_fixed_blur_fn(config: FixedBlurConfig = FixedBlurConfig()):
     """A ``BlurFn`` closure over *config* for ``ToneMapParams.blur_fn``.
 
-    The returned callable carries two extra attributes that the batch
+    The returned callable carries three extra attributes that the batch
     runtime uses:
 
     ``blur_batch``
@@ -245,6 +245,13 @@ def make_fixed_blur_fn(config: FixedBlurConfig = FixedBlurConfig()):
         process-pool backends (:class:`repro.runtime.ShardPool`) can ship
         the picklable config across the process boundary and rebuild the
         closure worker-side.
+    ``trusted_finite``
+        Marks the closure as repo-internal arithmetic that maps finite
+        inputs to finite outputs (saturating fixed point cannot emit
+        NaN/inf), so the batch runtime may wrap its outputs with the
+        no-validation :meth:`repro.image.hdr.HDRImage.adopt` fast path.
+        Arbitrary user ``blur_fn`` closures lack the attribute and keep
+        full output validation.
     """
 
     def blur_fn(plane: np.ndarray, kernel: GaussianKernel) -> np.ndarray:
@@ -255,4 +262,5 @@ def make_fixed_blur_fn(config: FixedBlurConfig = FixedBlurConfig()):
 
     blur_fn.blur_batch = blur_batch_fn
     blur_fn.config = config
+    blur_fn.trusted_finite = True
     return blur_fn

@@ -98,6 +98,23 @@ class TestFloatPathEquivalence:
         with pytest.raises(ToneMapError):
             blur_batch(PLANE, KERNELS[0])
 
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: f"taps{k.taps}")
+    def test_tiled_bit_identical_to_folded(self, kernel):
+        folded = separable_blur(PLANE, kernel, method="folded")
+        tiled = separable_blur(PLANE, kernel, method="tiled")
+        np.testing.assert_array_equal(tiled, folded)
+
+    def test_tiled_handles_fortran_ordered_stacks(self):
+        # Regression: an F-ordered stack must not defeat the reshape-view
+        # output trick (np.empty_like would have preserved F order, the
+        # block writes would have landed in a throwaway copy, and the
+        # result would have been uninitialized memory).
+        planes = np.asfortranarray(RNG.uniform(0.0, 1.0, (3, 24, 31)))
+        want = blur_batch(np.ascontiguousarray(planes), KERNELS[0],
+                          method="folded")
+        got = blur_batch(planes, KERNELS[0], method="tiled")
+        np.testing.assert_array_equal(got, want)
+
 
 # ----------------------------------------------------------------------
 # Fixed point: the seed per-tap implementation, kept verbatim as the

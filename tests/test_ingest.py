@@ -309,3 +309,165 @@ class TestAsyncAPI:
                 ingestor.close()
 
         asyncio.run(main())
+
+
+class TestZeroCopyIngest:
+    """The zero-copy admission path: frames written into arena slots."""
+
+    def test_auto_enabled_only_for_sharded_services(self):
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            with ToneMapIngestor(service) as ingestor:
+                assert ingestor.zero_copy is False
+        with ToneMapService(PARAMS, batch_size=2, shards=1) as service:
+            with ToneMapIngestor(service) as ingestor:
+                assert ingestor.zero_copy is True
+
+    def test_explicit_zero_copy_requires_shards(self):
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            with pytest.raises(ToneMapError):
+                ToneMapIngestor(service, zero_copy=True)
+
+    def test_outputs_bit_identical_to_batch_mapper(self):
+        images = scenes(5)
+        with ToneMapService(PARAMS, batch_size=2, shards=2) as service:
+            with ToneMapIngestor(service, max_delay_ms=20) as ingestor:
+                outputs = ingestor.map_many(images)
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_mixed_shape_storm_zero_copy(self):
+        # Interleaved shapes: every bucket gets its own arena stack, all
+        # coalesce correctly, nothing is left leased afterwards.
+        images = []
+        for i in range(4):
+            images.extend(scenes(1, size=16, base=i))
+            images.extend(scenes(1, size=24, base=40 + i))
+            images.extend(scenes(1, size=32, base=80 + i))
+        with ToneMapService(PARAMS, batch_size=3, shards=2) as service:
+            with ToneMapIngestor(service, max_delay_ms=2) as ingestor:
+                outputs = ingestor.map_many(images)
+            arena = service.pool.arena
+            assert arena.stats.leases_active == 0
+        single = ToneMapper(PARAMS)
+        for image, output in zip(images, outputs):
+            assert output.pixels.shape == image.pixels.shape
+            np.testing.assert_allclose(
+                output.pixels, single.run(image).output.pixels, atol=1e-5
+            )
+
+    def test_no_staging_copies_on_the_ingest_path(self):
+        images = scenes(6, size=16)
+        with ToneMapService(PARAMS, batch_size=3, shards=1) as service:
+            with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                ingestor.map_many(images)
+            stats = service.pool.data_plane_stats
+        # Frames entered shared memory at submit() time; the only
+        # parent-side copy is the per-batch output materialize (the
+        # futures safety fallback).
+        assert stats.arena.bytes_copied_in == 0
+        assert stats.arena.bytes_materialized == stats.bytes_served
+
+    def test_shed_oldest_compacts_arena_slots(self):
+        # With a huge deadline and batch_size 4, three submissions park in
+        # one zero-copy bucket; queue_limit 3 makes the fourth shed the
+        # oldest.  The survivors' frames must come back intact (the shed
+        # compaction moves the top slot's frame into the hole).
+        images = scenes(4, size=16)
+        with ToneMapService(PARAMS, batch_size=4, shards=1) as service:
+            ingestor = ToneMapIngestor(
+                service,
+                max_delay_ms=60_000,
+                queue_limit=3,
+                policy=BackpressurePolicy.SHED_OLDEST,
+            )
+            futures = [ingestor.submit(image) for image in images]
+            assert ingestor.stats.shed == 1
+            ingestor.close()
+            with pytest.raises(ServiceOverloadedError):
+                futures[0].result(timeout=5)
+            expected = BatchToneMapper(PARAMS).map(images)
+            for future, want in zip(futures[1:], expected[1:]):
+                got = future.result(timeout=30)
+                np.testing.assert_array_equal(got.pixels, want.pixels)
+
+    def test_shed_to_empty_bucket_releases_lease(self):
+        # Shedding the only occupant of a bucket must release its arena
+        # stack, not strand it.
+        images = scenes(2, size=16)
+        with ToneMapService(PARAMS, batch_size=4, shards=1) as service:
+            ingestor = ToneMapIngestor(
+                service,
+                max_delay_ms=60_000,
+                queue_limit=1,
+                policy=BackpressurePolicy.SHED_OLDEST,
+            )
+            first = ingestor.submit(images[0])
+            second = ingestor.submit(images[1])  # sheds first (sole occupant)
+            assert ingestor.stats.shed == 1
+            ingestor.close()
+            with pytest.raises(ServiceOverloadedError):
+                first.result(timeout=5)
+            assert second.result(timeout=30) is not None
+            assert service.pool.arena.stats.leases_active == 0
+
+    def test_full_bucket_rotates_immediately(self):
+        # A bucket sealing at batch_size must dispatch without waiting for
+        # the deadline, and a following submission starts a fresh stack.
+        images = scenes(5, size=16)
+        with ToneMapService(PARAMS, batch_size=2, shards=1) as service:
+            with ToneMapIngestor(service, max_delay_ms=60_000) as ingestor:
+                futures = [ingestor.submit(image) for image in images[:4]]
+                for future in futures:
+                    assert future.result(timeout=30) is not None
+                # Partial fifth image flushes at close.
+                last = ingestor.submit(images[4])
+            assert last.result(timeout=30) is not None
+        assert service.stats.batches == 3
+
+    def test_opt_out_keeps_copy_path(self):
+        images = scenes(3)
+        with ToneMapService(PARAMS, batch_size=2, shards=1) as service:
+            with ToneMapIngestor(
+                service, max_delay_ms=5, zero_copy=False
+            ) as ingestor:
+                outputs = ingestor.map_many(images)
+        expected = BatchToneMapper(PARAMS).map(images)
+        for got, want in zip(outputs, expected):
+            np.testing.assert_array_equal(got.pixels, want.pixels)
+
+
+class TestServiceAutoscaleStats:
+    def test_stats_surface_active_shards(self):
+        with ToneMapService(PARAMS, batch_size=2, shards=2) as service:
+            assert service.stats.shards_active == 2
+            assert service.stats.scale_ups == 0
+
+    def test_autoscaled_service_grows_under_sustained_load(self):
+        from repro.runtime import AutoscalePolicy
+
+        policy = AutoscalePolicy(
+            min_shards=1, max_shards=2, grow_patience=1, shrink_patience=50
+        )
+        with ToneMapService(
+            PARAMS,
+            batch_size=1,
+            shards=1,
+            autoscale=True,
+            autoscale_policy=policy,
+        ) as service:
+            # Pile up admitted batches so queue depth exceeds the active
+            # width when each batch finishes.
+            futures = [
+                service.submit_batch([img]) for img in scenes(6, size=16)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+            stats = service.stats
+            assert stats.shards_active == 2
+            assert stats.scale_ups >= 1
+
+    def test_in_process_service_reports_zero_shards(self):
+        with ToneMapService(PARAMS, batch_size=2) as service:
+            service.map_many(scenes(2))
+            assert service.stats.shards_active == 0

@@ -81,6 +81,33 @@ class TestBatchToneMapper:
         result = BatchToneMapper(PARAMS).run([black])
         np.testing.assert_array_equal(result.outputs[0].pixels, 0.0)
 
+    def test_untrusted_blur_fn_nan_is_caught(self):
+        # A user-supplied blur_fn is outside the internal finiteness
+        # proof, so its outputs keep full HDRImage validation: NaN must
+        # surface as ImageError, not silently adopted garbage.
+        from repro.errors import ImageError
+
+        def nan_blur(plane, kernel):
+            out = np.array(plane, dtype=np.float64)
+            out[0, 0] = np.nan
+            return out
+
+        params = ToneMapParams(sigma=2.0, radius=6, blur_fn=nan_blur)
+        with pytest.raises(ImageError):
+            BatchToneMapper(params).run(scenes(1))
+
+    def test_trusted_fixed_blur_fn_keeps_adopt_fast_path(self):
+        # The internal fixed-point closure is marked trusted_finite, so
+        # its outputs are adopted (views, read-only) rather than
+        # re-validated — and stay correct.
+        params = ToneMapParams(sigma=2.0, radius=6,
+                               blur_fn=make_fixed_blur_fn())
+        outputs = BatchToneMapper(params).run(scenes(2)).outputs
+        for image in outputs:
+            assert image.pixels.dtype == np.float32
+            assert not image.pixels.flags.writeable
+            assert np.isfinite(image.pixels).all()
+
 
 class TestToneMapService:
     def test_map_many_matches_batch(self):

@@ -5,13 +5,21 @@ the sharded backend re-runs the same stack code, so "close" is never good
 enough.  Pools are kept small (1–3 workers) to stay fast on CI runners.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.errors import ToneMapError
 from repro.image.synthetic import SceneParams, make_scene
-from repro.runtime import BatchToneMapper, ShardPool, ToneMapService
-from repro.runtime.shard import _slab_bounds
+from repro.runtime import (
+    AutoscalePolicy,
+    BatchToneMapper,
+    ShardAutoscaler,
+    ShardPool,
+    ToneMapService,
+)
+from repro.runtime.shard import _run_slab, _slab_bounds
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
 
@@ -116,6 +124,242 @@ class TestShardPool:
     def test_bad_stack_rank_rejected(self, float_pool):
         with pytest.raises(ToneMapError):
             float_pool.run_stack(np.zeros((8, 8)))
+
+
+class TestZeroCopyDataPlane:
+    def test_zero_copy_matches_copy_path_bit_for_bit(self, float_pool):
+        stack = np.stack([im.pixels for im in scenes(4, color=False)])
+        copied = float_pool.run_stack(stack)
+        lease = float_pool.run_stack(stack, zero_copy=True)
+        try:
+            np.testing.assert_array_equal(lease.array, copied)
+        finally:
+            lease.release()
+        want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        np.testing.assert_array_equal(copied, want)
+
+    def test_run_leased_roundtrip(self, float_pool):
+        stack = np.stack([im.pixels for im in scenes(3)])
+        in_lease = float_pool.lease_input(stack.shape)
+        try:
+            in_lease.array[:] = stack
+            out_lease = float_pool.run_leased(in_lease)
+        finally:
+            in_lease.release()
+        want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        try:
+            np.testing.assert_array_equal(out_lease.array, want)
+        finally:
+            out_lease.release()
+
+    def test_partial_stack_count(self, float_pool):
+        stack = np.stack([im.pixels for im in scenes(4, color=False)])
+        in_lease = float_pool.lease_input(stack.shape)
+        try:
+            in_lease.array[:2] = stack[:2]
+            out = float_pool.run_leased(in_lease, count=2).materialize()
+        finally:
+            in_lease.release()
+        want = (
+            BatchToneMapper(PARAMS).run_stack(stack[:2]).astype(np.float32)
+        )
+        np.testing.assert_array_equal(out, want)
+
+    def test_invalid_count_rejected(self, float_pool):
+        in_lease = float_pool.lease_input((2, 16, 16))
+        try:
+            with pytest.raises(ToneMapError):
+                float_pool.run_leased(in_lease, count=3)
+            with pytest.raises(ToneMapError):
+                float_pool.run_leased(in_lease, count=0)
+        finally:
+            in_lease.release()
+
+    def test_released_lease_rejected(self, float_pool):
+        in_lease = float_pool.lease_input((2, 16, 16))
+        in_lease.release()
+        with pytest.raises(ToneMapError):
+            float_pool.run_leased(in_lease)
+
+    def test_steady_state_allocates_nothing(self, float_pool):
+        stack = np.stack([im.pixels for im in scenes(3, color=False)])
+        float_pool.run_stack(stack)  # warm the size class
+        before = float_pool.data_plane_stats
+        for _ in range(4):
+            float_pool.run_stack(stack)
+        after = float_pool.data_plane_stats
+        assert (
+            after.arena.segments_created == before.arena.segments_created
+        )
+        assert after.arena.reuses > before.arena.reuses
+        assert after.batches == before.batches + 4
+
+    def test_copy_counters_track_staging(self):
+        stack = np.stack([im.pixels for im in scenes(2, color=False)])
+        with ShardPool(PARAMS, shards=1) as pool:
+            pool.run_stack(stack)
+            stats = pool.data_plane_stats
+            # run_stack stages once in and once (materialize) out.
+            assert stats.arena.bytes_copied_in == stack.nbytes
+            assert stats.arena.bytes_materialized == stack.nbytes
+            assert stats.copies_per_frame == pytest.approx(2.0)
+            # The leased path adds nothing.
+            in_lease = pool.lease_input(stack.shape)
+            in_lease.array[:] = stack
+            pool.run_leased(in_lease).release()
+            in_lease.release()
+            assert (
+                pool.data_plane_stats.bytes_staged == stats.bytes_staged
+            )
+
+    def test_worker_error_mid_flight_recovers(self, float_pool):
+        # A worker raising (bad segment name) must not poison the pool or
+        # leak leases; the next batch runs normally.
+        future = float_pool._executor.submit(
+            _run_slab, "psm_does_not_exist", "psm_nor_this",
+            (1, 8, 8), 0, 1, False, False,
+        )
+        with pytest.raises(FileNotFoundError):
+            future.result()
+        stack = np.stack([im.pixels for im in scenes(2, color=False)])
+        want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        np.testing.assert_array_equal(float_pool.run_stack(stack), want)
+        assert float_pool.arena.stats.leases_active == 0
+
+    def test_failed_batch_releases_leases(self, float_pool):
+        # Force the dispatch itself to fail: a released input lease is
+        # rejected before any worker runs, and the output lease (had one
+        # been taken) must not stay checked out.
+        active_before = float_pool.arena.stats.leases_active
+        lease = float_pool.lease_input((2, 16, 16))
+        lease.release()
+        with pytest.raises(ToneMapError):
+            float_pool.run_leased(lease)
+        assert float_pool.arena.stats.leases_active == active_before
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+class TestShmLeakCheck:
+    def test_no_segments_leaked_across_pool_lifetime(self):
+        def names():
+            return {
+                n for n in os.listdir("/dev/shm") if n.startswith("psm_")
+            }
+
+        before = names()
+        with ShardPool(PARAMS, shards=2) as pool:
+            stack = np.stack([im.pixels for im in scenes(3, color=False)])
+            pool.run_stack(stack)
+            # Error path: a failing slab must not strand segments either.
+            future = pool._executor.submit(
+                _run_slab, "psm_missing", "psm_missing_too",
+                (1, 8, 8), 0, 1, False, False,
+            )
+            with pytest.raises(FileNotFoundError):
+                future.result()
+            pool.run_stack(stack)
+            assert names() - before  # arena segments exist while open
+        assert names() - before == set(), "pool close leaked /dev/shm"
+
+
+class TestAutoscaler:
+    def policy(self, **kwargs):
+        defaults = dict(
+            min_shards=1, max_shards=4, grow_patience=2, shrink_patience=3
+        )
+        defaults.update(kwargs)
+        return AutoscalePolicy(**defaults)
+
+    def test_grow_needs_sustained_pressure(self):
+        scaler = ShardAutoscaler(self.policy())
+        assert scaler.observe(1, queue_depth=5) == 1  # first hot tick
+        assert scaler.observe(1, queue_depth=5) == 2  # patience met
+
+    def test_single_burst_does_not_grow(self):
+        scaler = ShardAutoscaler(self.policy())
+        assert scaler.observe(1, queue_depth=5) == 1
+        assert scaler.observe(1, queue_depth=1) == 1  # calm resets
+        assert scaler.observe(1, queue_depth=5) == 1  # must re-earn
+
+    def test_shrink_needs_sustained_idle(self):
+        scaler = ShardAutoscaler(self.policy())
+        width = 3
+        for _ in range(2):
+            assert scaler.observe(width, queue_depth=0) == width
+        assert scaler.observe(width, queue_depth=0) == width - 1
+
+    def test_flapping_load_holds_width(self):
+        scaler = ShardAutoscaler(self.policy())
+        width = 2
+        for depth in (0, 5, 0, 5, 0, 5):
+            width = scaler.observe(width, queue_depth=depth)
+        assert width == 2
+
+    def test_bounds_respected(self):
+        scaler = ShardAutoscaler(self.policy(max_shards=2))
+        width = 2
+        for _ in range(10):
+            width = scaler.observe(width, queue_depth=10)
+        assert width == 2
+        scaler = ShardAutoscaler(self.policy(min_shards=2))
+        width = 2
+        for _ in range(10):
+            width = scaler.observe(width, queue_depth=0)
+        assert width == 2
+
+    def test_latency_signal_grows(self):
+        scaler = ShardAutoscaler(
+            self.policy(target_p95_ms=10.0, grow_patience=2)
+        )
+        assert scaler.observe(1, queue_depth=0, p95_ms=50.0) == 1
+        assert scaler.observe(1, queue_depth=0, p95_ms=50.0) == 2
+
+    def test_latency_ignored_without_target(self):
+        scaler = ShardAutoscaler(self.policy())
+        assert scaler.observe(1, queue_depth=0, p95_ms=1e6) == 1
+        assert scaler.observe(1, queue_depth=0, p95_ms=1e6) == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ToneMapError):
+            AutoscalePolicy(min_shards=0)
+        with pytest.raises(ToneMapError):
+            AutoscalePolicy(min_shards=3, max_shards=2)
+        with pytest.raises(ToneMapError):
+            AutoscalePolicy(grow_patience=0)
+
+
+class TestPoolAutoscaling:
+    def test_observe_widens_and_narrows_active_set(self):
+        policy = AutoscalePolicy(
+            min_shards=1, max_shards=2, grow_patience=2, shrink_patience=2
+        )
+        with ShardPool(PARAMS, shards=1, autoscale=True, policy=policy) as pool:
+            assert pool.active_shards == 1
+            pool.observe(queue_depth=4)
+            pool.observe(queue_depth=4)
+            assert pool.active_shards == 2
+            assert pool.scale_ups == 1
+            # Results stay bit-identical at the new width.
+            stack = np.stack([im.pixels for im in scenes(3, color=False)])
+            want = (
+                BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+            )
+            np.testing.assert_array_equal(pool.run_stack(stack), want)
+            pool.observe(queue_depth=0)
+            pool.observe(queue_depth=0)
+            assert pool.active_shards == 1
+            assert pool.scale_downs == 1
+
+    def test_observe_noop_without_autoscale(self):
+        with ShardPool(PARAMS, shards=2) as pool:
+            assert pool.observe(queue_depth=100) == 2
+            assert pool.scale_ups == 0
+
+    def test_max_shards_below_shards_rejected(self):
+        with pytest.raises(ToneMapError):
+            ShardPool(PARAMS, shards=3, autoscale=True, max_shards=2)
 
 
 class TestServiceSharding:

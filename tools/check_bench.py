@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark JSON against the committed baseline.
+
+``benchmarks/baseline.json`` pins the performance trajectory: for each
+tracked metric (an ``extra_info`` value of a named benchmark) it records
+the expected value, a tolerance band, and a direction.  CI runs the
+timed benchmarks, serializes ``--benchmark-json``, and then runs this
+script — so a regression in the counters (copies per frame, SHM
+allocations) or, on the reference host, in the measured rates fails the
+build loudly instead of silently eroding a number in a doc.
+
+Metric classes
+--------------
+* **strict** metrics are machine-independent (counters, exact ratios)
+  and are enforced on every run.
+* non-strict metrics are wall-clock rates, meaningful only relative to
+  the host that produced the baseline; they are *reported* by default
+  and enforced with ``--strict-perf`` (use on the reference host /
+  a dedicated perf runner).
+
+Baseline format (``benchmarks/baseline.json``)::
+
+    {
+      "host": "...free-form provenance...",
+      "metrics": {
+        "<benchmark-name-substring>::<extra_info key>": {
+          "value": 0.0,          # expected value
+          "tolerance": 0.25,     # fractional band (0 = exact)
+          "direction": "min",    # fresh >= value*(1-tol)   (throughput)
+                                 # "max": fresh <= value*(1+tol)+tol (counters)
+          "strict": true
+        }
+      },
+      "reference": { ...informational numbers, not checked... }
+    }
+
+Every metric must match at least one benchmark in the fresh JSON — a
+renamed or deleted benchmark fails the check, so the gate cannot be
+silently unplugged (``test_baseline_reference_is_current`` guards the
+reverse direction).
+
+Usage::
+
+    python tools/check_bench.py bench.json [--baseline benchmarks/baseline.json]
+        [--strict-perf]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def load_benchmarks(path: Path) -> list[dict]:
+    """The ``benchmarks`` array of a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise SystemExit(f"{path}: not a pytest-benchmark JSON file")
+    return benchmarks
+
+
+def check_metric(
+    key: str, spec: dict, benchmarks: list[dict], strict_perf: bool
+) -> list[str]:
+    """Evaluate one baseline metric; returns failure messages (if any).
+
+    ``key`` is ``<benchmark-name-substring>::<extra_info key>``; every
+    matching benchmark that records the extra_info key must satisfy the
+    band.  Returns a failure for metrics that match nothing: a silent
+    non-match would unplug the gate.
+    """
+    name_part, _, info_key = key.partition("::")
+    if not info_key:
+        return [f"{key}: malformed metric key (expected NAME::EXTRA_KEY)"]
+    expected = float(spec["value"])
+    tolerance = float(spec.get("tolerance", 0.0))
+    direction = spec.get("direction", "min")
+    if direction not in ("min", "max"):
+        return [f"{key}: unknown direction {direction!r}"]
+    enforced = bool(spec.get("strict", False)) or strict_perf
+
+    failures: list[str] = []
+    matched = 0
+    for bench in benchmarks:
+        if name_part not in bench.get("name", ""):
+            continue
+        extra = bench.get("extra_info", {})
+        if info_key not in extra:
+            continue
+        matched += 1
+        fresh = float(extra[info_key])
+        if direction == "min":
+            floor = expected * (1.0 - tolerance)
+            ok = fresh >= floor
+            band = f">= {floor:g}"
+        else:
+            # Additive slack too, so a zero-valued counter baseline can
+            # still express "at most tolerance".
+            ceiling = expected * (1.0 + tolerance) + tolerance
+            ok = fresh <= ceiling
+            band = f"<= {ceiling:g}"
+        verdict = "ok  " if ok else ("FAIL" if enforced else "warn")
+        print(
+            f"{verdict} {key}: {fresh:g} (baseline {expected:g}, {band}"
+            f"{', strict' if spec.get('strict') else ''})"
+        )
+        if not ok and enforced:
+            failures.append(f"{key}: {fresh:g} outside {band}")
+    if matched == 0:
+        failures.append(
+            f"{key}: no benchmark matched — renamed without updating "
+            "benchmarks/baseline.json?"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline file (default benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--strict-perf", action="store_true",
+        help="also enforce the wall-clock (non-strict) metrics — use on "
+             "the host that produced the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    benchmarks = load_benchmarks(args.fresh)
+    failures: list[str] = []
+    for key, spec in baseline.get("metrics", {}).items():
+        failures.extend(
+            check_metric(key, spec, benchmarks, args.strict_perf)
+        )
+    if failures:
+        print(f"\n{len(failures)} metric(s) out of band:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("all tracked metrics within their baseline bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
