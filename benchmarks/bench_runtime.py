@@ -24,6 +24,7 @@ trajectory against the committed reference host baseline lives in
 ``benchmarks/baseline.json`` and is checked by ``tools/check_bench.py``.
 """
 
+import threading
 import time
 from multiprocessing import shared_memory
 
@@ -31,7 +32,13 @@ import numpy as np
 import pytest
 
 from repro.image.synthetic import SceneParams, make_scene
-from repro.runtime import BatchToneMapper, ShardPool, ToneMapService
+from repro.runtime import (
+    BatchToneMapper,
+    ShardPool,
+    TenantConfig,
+    ToneMapIngestor,
+    ToneMapService,
+)
 from repro.runtime.shard import _run_slab, _slab_bounds
 from repro.tonemap.fixed_blur import (
     FixedBlurConfig,
@@ -325,6 +332,151 @@ def test_sharded_outputs_exact():
         want = local.map_many(images)
     for g, w in zip(got, want):
         np.testing.assert_array_equal(g.pixels, w.pixels)
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant fairness: light tenant p95 under heavy contention
+# ----------------------------------------------------------------------
+CONTENTION_SIZE = 64
+#: 20 paced samples so the nearest-rank p95 is the 2nd-worst frame —
+#: one noisy-neighbour stall on a shared CI runner cannot move the
+#: strictly gated ratio on its own.
+LIGHT_FRAMES = 20
+LIGHT_PACE_S = 0.01
+
+
+def _tenant_frames(count, base):
+    return [
+        make_scene(
+            "window_interior",
+            SceneParams(
+                height=CONTENTION_SIZE, width=CONTENTION_SIZE, seed=base + i
+            ),
+        )
+        for i in range(count)
+    ]
+
+
+def _paced_light_run(ingestor, frames):
+    """Submit a paced light-tenant stream; returns its end-to-end p95."""
+    futures = []
+    for i in range(LIGHT_FRAMES):
+        futures.append(ingestor.submit(frames[i % len(frames)], "light"))
+        time.sleep(LIGHT_PACE_S)
+    for future in futures:
+        future.result(timeout=120)
+    stats = ingestor.stats
+    return next(t for t in stats.tenants if t.tenant == "light"), stats
+
+
+def _heavy_flood(ingestor, frames, stop):
+    """Keep the heavy tenant's queue saturated until told to stop."""
+    index = 0
+    while not stop.is_set():
+        try:
+            ingestor.submit(frames[index % len(frames)], "heavy")
+        except Exception:  # ingestor closing under us: flood is over
+            return
+        index += 1
+
+
+def test_two_tenant_contention_small(benchmark):
+    """The fairness acceptance case: light p95 under heavy saturation.
+
+    Three phases on identical services: the light tenant alone (its
+    baseline p95), the light tenant while a heavy tenant saturates the
+    pool through the DRR scheduler (the claim under test: p95 within 2x
+    of solo), and the same contention replayed through a faithfully
+    ungated single-FIFO configuration (the PR 3 admission path: every
+    full batch dispatches straight into the executor queue), which shows
+    the starvation the scheduler removes.  The p95 ratio is recorded in
+    ``extra_info`` and gated against ``benchmarks/baseline.json`` by
+    ``tools/check_bench.py`` — as a ratio of like measurements on the
+    same host it is machine-independent enough to enforce strictly.
+    """
+    light_frames = _tenant_frames(4, base=900)
+    heavy_frames = _tenant_frames(4, base=700)
+    tenants = {"heavy": TenantConfig(), "light": TenantConfig()}
+    measured = {}
+
+    def fair_ingestor(service):
+        return ToneMapIngestor(
+            service,
+            max_delay_ms=20,
+            queue_limit=64,
+            per_tenant_queue_limit=24,
+            policy="block",
+            tenants=dict(tenants),
+            max_inflight_batches=2,
+        )
+
+    def run_experiment():
+        # Phase 1: light alone — the baseline p95 (dominated by the
+        # coalescing deadline, since nobody shares its batches).
+        with ToneMapService(PARAMS, batch_size=4, shards=2) as service:
+            with fair_ingestor(service) as ingestor:
+                solo, _ = _paced_light_run(ingestor, light_frames)
+        # Phase 2: heavy saturates the pool, DRR keeps light fair.
+        with ToneMapService(PARAMS, batch_size=4, shards=2) as service:
+            ingestor = fair_ingestor(service)
+            stop = threading.Event()
+            flood = threading.Thread(
+                target=_heavy_flood, args=(ingestor, heavy_frames, stop)
+            )
+            flood.start()
+            time.sleep(0.05)  # let the backlog build
+            try:
+                fair, fair_stats = _paced_light_run(ingestor, light_frames)
+            finally:
+                stop.set()
+            flood.join(timeout=60)
+            ingestor.close()
+            heavy_served = next(
+                t for t in ingestor.stats.tenants if t.tenant == "heavy"
+            ).served
+        # Phase 3: the single-FIFO replay — no dispatch gate, one global
+        # queue, heavy's whole backlog enters the executor ahead of the
+        # light tenant.
+        with ToneMapService(PARAMS, batch_size=4, shards=2) as service:
+            with ToneMapIngestor(
+                service,
+                max_delay_ms=20,
+                queue_limit=256,
+                policy="block",
+                max_inflight_batches=64,
+            ) as ingestor:
+                for index in range(48):
+                    ingestor.submit(
+                        heavy_frames[index % 4], "heavy"
+                    )
+                starved, _ = _paced_light_run(ingestor, light_frames)
+        measured.update(
+            solo_ms=solo.latency_p95_ms,
+            fair_ms=fair.latency_p95_ms,
+            starved_ms=starved.latency_p95_ms,
+            heavy_served=heavy_served,
+            fairness=fair_stats.fairness_index,
+        )
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1,
+                       warmup_rounds=0)
+    # Sanity that holds even in quick mode: the heavy tenant really
+    # saturated the pool, and the light tenant was really served.
+    assert measured["heavy_served"] >= LIGHT_FRAMES
+    assert measured["solo_ms"] > 0 and measured["fair_ms"] > 0
+    if benchmark.stats is not None:
+        ratio = measured["fair_ms"] / measured["solo_ms"]
+        benchmark.extra_info["light_p95_solo_ms"] = measured["solo_ms"]
+        benchmark.extra_info["light_p95_contended_ms"] = measured["fair_ms"]
+        benchmark.extra_info["light_p95_x_solo"] = ratio
+        benchmark.extra_info["light_p95_single_fifo_ms"] = measured[
+            "starved_ms"
+        ]
+        benchmark.extra_info["starvation_x_vs_fair"] = (
+            measured["starved_ms"] / measured["fair_ms"]
+        )
+        benchmark.extra_info["fairness_index"] = measured["fairness"]
+        benchmark.extra_info["heavy_frames_served"] = measured["heavy_served"]
 
 
 # The guard that benchmarks/baseline.json keeps tracking the metrics

@@ -148,6 +148,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="backpressure policy when the queue is full (default block)",
     )
     batch.add_argument(
+        "--tenant-weights", default=None, metavar="NAME=W[,NAME=W...]",
+        help="serve the stream as multiple tenants with these "
+             "deficit-round-robin weights (images are assigned "
+             "round-robin across the named tenants; implies the "
+             "streaming path); per-tenant depth/served/latency and the "
+             "fairness index are reported",
+    )
+    batch.add_argument(
+        "--per-tenant-queue-limit", type=int, default=None,
+        help="per-tenant in-flight bound (each tenant's own admission "
+             "budget, on top of --queue-limit; implies the streaming "
+             "path)",
+    )
+    batch.add_argument(
+        "--lease-results", action="store_true",
+        help="resolve results as zero-copy arena lease handles "
+             "(released after consumption) instead of materialized "
+             "copies; requires --shards and the streaming path",
+    )
+    batch.add_argument(
         "-o", "--output-dir", type=Path, default=None,
         help="write tone-mapped outputs here as .ppm",
     )
@@ -181,13 +201,32 @@ def _batch_images(args) -> list:
     ]
 
 
+def _parse_tenant_weights(spec: str) -> dict:
+    """``"heavy=3,light=1"`` → ``{"heavy": 3.0, "light": 1.0}``."""
+    tenants = {}
+    for part in spec.split(","):
+        name, sep, weight = part.partition("=")
+        name = name.strip()
+        try:
+            parsed = float(weight)
+        except ValueError:
+            parsed = -1.0
+        if not sep or not name or parsed <= 0:
+            raise SystemExit(
+                f"--tenant-weights: expected NAME=POSITIVE_WEIGHT, got "
+                f"{part!r}"
+            )
+        tenants[name] = parsed
+    return tenants
+
+
 def run_batch(args) -> None:
     """The ``batch`` subcommand: tone-map N images, report throughput."""
     import time
 
     from repro.errors import ServiceOverloadedError
     from repro.image.ppm import write_ppm
-    from repro.runtime import ToneMapIngestor, ToneMapService
+    from repro.runtime import ResultHandle, ToneMapIngestor, ToneMapService
     from repro.tonemap.fixed_blur import FixedBlurConfig
     from repro.tonemap.pipeline import ToneMapParams
 
@@ -197,8 +236,24 @@ def run_batch(args) -> None:
 
     images = _batch_images(args)
     fixed_config = FixedBlurConfig() if args.fixed else None
-    streaming = args.max_delay_ms is not None or args.queue_limit is not None
+    tenants = (
+        _parse_tenant_weights(args.tenant_weights)
+        if args.tenant_weights is not None
+        else None
+    )
+    streaming = (
+        args.max_delay_ms is not None
+        or args.queue_limit is not None
+        or tenants is not None
+        or args.per_tenant_queue_limit is not None
+        or args.lease_results
+    )
     shards = args.shards
+    if args.lease_results and shards is None and not args.autoscale:
+        raise SystemExit(
+            "--lease-results requires a shard pool (--shards or "
+            "--autoscale) — the handles lease from its arena"
+        )
     autoscale_policy = None
     if not args.autoscale:
         # Reject (don't silently ignore) knobs that only autoscaling
@@ -247,6 +302,7 @@ def run_batch(args) -> None:
         arena_slots=4 if args.arena_slots is None else args.arena_slots,
     ) as service:
         if streaming:
+            tenant_names = sorted(tenants) if tenants else None
             with ToneMapIngestor(
                 service,
                 max_delay_ms=(
@@ -256,19 +312,40 @@ def run_batch(args) -> None:
                     64 if args.queue_limit is None else args.queue_limit
                 ),
                 policy=args.policy,
+                tenants=tenants,
+                per_tenant_queue_limit=args.per_tenant_queue_limit,
+                lease_results=args.lease_results,
             ) as ingestor:
                 futures = []
-                for image in images:
+                for index, image in enumerate(images):
+                    # Demo traffic split: images round-robin across the
+                    # named tenants (real deployments tag per caller).
+                    tenant = (
+                        tenant_names[index % len(tenant_names)]
+                        if tenant_names
+                        else "default"
+                    )
                     try:
-                        futures.append(ingestor.submit(image))
+                        futures.append(ingestor.submit(image, tenant))
                     except ServiceOverloadedError:
                         dropped += 1
                 outputs = []
                 for future in futures:
                     try:
-                        outputs.append(future.result())
+                        result = future.result()
                     except ServiceOverloadedError:
                         dropped += 1
+                        continue
+                    if isinstance(result, ResultHandle):
+                        # Lease-native consumption: materialize only if
+                        # the frame must outlive the slab (file output),
+                        # else read in place and release to the ring.
+                        if args.output_dir is not None:
+                            outputs.append(result.materialize())
+                        else:
+                            result.release()
+                    else:
+                        outputs.append(result)
                 stats = ingestor.stats
         else:
             outputs = service.map_many(images)
@@ -297,6 +374,18 @@ def run_batch(args) -> None:
         print(f"  latency p50   : {stats.latency_p50_ms:.1f} ms   "
               f"p95 {stats.latency_p95_ms:.1f} ms   "
               f"p99 {stats.latency_p99_ms:.1f} ms")
+        if args.lease_results:
+            print("  results       : lease-native (zero-copy handles)")
+        if tenants:
+            for tenant in stats.tenants:
+                print(
+                    f"  tenant {tenant.tenant:<7}: w={tenant.weight:g} "
+                    f"served {tenant.served}/{tenant.submitted}  "
+                    f"shed {tenant.shed}  rejected {tenant.rejected}  "
+                    f"p95 {tenant.latency_p95_ms:.1f} ms"
+                )
+            print(f"  fairness      : {stats.fairness_index:.3f} "
+                  "(Jain, 1.0 = weight-proportional)")
         if dropped:
             print(f"  dropped       : {dropped} "
                   f"(rejected {stats.rejected}, shed {stats.shed})")

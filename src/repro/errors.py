@@ -43,6 +43,33 @@ class ServiceOverloadedError(ReproError):
     the ``reject`` policy the submitter gets this immediately; under
     ``shed-oldest`` the oldest queued submission's future fails with it
     when a newer arrival takes its slot.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose admission limit triggered the refusal (``None``
+        for the single-tenant / global limit).
+    shed_count:
+        How many frames share this exception context.  Under a shed
+        storm the ingestor fails every victim of one storm with a single
+        coalesced instance instead of constructing one per frame; the
+        counter grows as victims join the storm.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None,
+                 shed_count: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.shed_count = shed_count
+
+
+class ShardCrashError(ReproError):
+    """A shard worker process died and the batch could not be replayed.
+
+    The pool respawns its worker set after a crash and replays the
+    failed batch once on the fresh workers; this error surfaces only
+    when the replay itself also loses a worker (persistent crash —
+    e.g. the workload reliably OOM-kills workers).
     """
 
 

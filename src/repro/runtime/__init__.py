@@ -26,22 +26,39 @@ four composable stages (diagrammed in ``docs/architecture.md``):
   mappers (optionally sharded), and reports aggregate throughput as
   :class:`~repro.runtime.service.ServiceStats`.
 * :class:`~repro.runtime.ingest.ToneMapIngestor` — the streaming edge:
-  continuous single-image arrivals (blocking or ``asyncio``), deadline
-  coalescing into batches, and bounded-queue admission control with
+  continuous single-image arrivals (blocking or ``asyncio``) carrying a
+  ``tenant`` identity, parked in per-tenant bounded queues
+  (:class:`~repro.runtime.ingest.TenantConfig`: weight, queue limit,
   ``block`` / ``reject`` / ``shed-oldest``
-  :class:`~repro.runtime.ingest.BackpressurePolicy` choices.
+  :class:`~repro.runtime.ingest.BackpressurePolicy`), coalesced into
+  same-shape batches across tenants by a
+  :class:`~repro.runtime.ingest.DeficitRoundRobin` scheduler under a
+  latency deadline and a dispatch gate — no tenant can monopolize the
+  pool, reported per tenant via
+  :class:`~repro.runtime.service.TenantStats` and Jain's
+  ``fairness_index``.  With ``lease_results=True`` futures resolve to
+  zero-copy :class:`~repro.runtime.arena.ResultHandle` views instead of
+  materialized copies.
 
 Wired into the CLI as ``repro-experiments batch`` (``--shards``,
-``--max-delay-ms``, ``--queue-limit``, ``--policy``) and demonstrated by
-``examples/batch_throughput.py``.  Throughput is tracked over time by
+``--max-delay-ms``, ``--queue-limit``, ``--policy``,
+``--tenant-weights``, ``--per-tenant-queue-limit``,
+``--lease-results``) and demonstrated by
+``examples/batch_throughput.py``.  Throughput and the fairness /
+zero-copy gates are tracked over time by
 ``benchmarks/bench_runtime.py`` — see ``docs/benchmarks.md`` for how to
 run and read it.
 """
 
-from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
+from repro.runtime.arena import ArenaLease, ArenaStats, ResultHandle, ShmArena
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
-from repro.runtime.ingest import BackpressurePolicy, ToneMapIngestor
-from repro.runtime.service import ServiceStats, ToneMapService
+from repro.runtime.ingest import (
+    BackpressurePolicy,
+    DeficitRoundRobin,
+    TenantConfig,
+    ToneMapIngestor,
+)
+from repro.runtime.service import ServiceStats, TenantStats, ToneMapService
 from repro.runtime.shard import (
     AutoscalePolicy,
     DataPlaneStats,
@@ -57,10 +74,14 @@ __all__ = [
     "BatchToneMapper",
     "BatchToneMapResult",
     "DataPlaneStats",
+    "DeficitRoundRobin",
+    "ResultHandle",
     "ServiceStats",
     "ShardAutoscaler",
     "ShardPool",
     "ShmArena",
+    "TenantConfig",
+    "TenantStats",
     "ToneMapIngestor",
     "ToneMapService",
 ]

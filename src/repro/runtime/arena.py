@@ -226,6 +226,88 @@ class ArenaLease:
             self.release()
 
 
+class ResultHandle:
+    """A lease-native, zero-copy view of one tone-mapped frame.
+
+    The futures path historically materialized every batch once — the
+    safety fallback for consumers that cannot be trusted to release a
+    slab promptly.  ``ResultHandle`` closes that gap for in-process
+    consumers that *can*: each handle holds its own reference on the
+    batch's output :class:`ArenaLease` (refcount-safe with the slab
+    ring — the slab recycles only when every frame's handle has been
+    released), and :attr:`pixels` is a view straight into shared
+    memory, so reading a result costs zero copies.
+
+    The contract is explicit release: call :meth:`release` (or use the
+    handle as a context manager) when done with the view, or call
+    :meth:`materialize` to trade one copy for an unbounded lifetime.
+    A handle that is garbage-collected unreleased releases itself as a
+    leak backstop — but by then the slab sat out of the ring for the
+    handle's whole GC lifetime, so storms of forgotten handles degrade
+    the arena to transient-overflow allocations (visible in
+    :class:`ArenaStats`).  Release promptly.
+    """
+
+    __slots__ = ("_lease", "_slot", "_released", "name")
+
+    def __init__(self, lease: ArenaLease, slot: int, name: str):
+        self._lease = lease.acquire()
+        self._slot = slot
+        self._released = False
+        self.name = name
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    @property
+    def pixels(self) -> np.ndarray:
+        """Zero-copy float32 view of the frame (valid until release)."""
+        if self._released:
+            raise ToneMapError(
+                "cannot read a released result handle (materialize() "
+                "before release if the data must outlive the lease)"
+            )
+        return self._lease.array[self._slot]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.pixels.shape)
+
+    def release(self) -> None:
+        """Drop this frame's reference on the output slab; idempotent."""
+        if self._released:
+            return
+        self._released = True
+        self._lease.release()
+
+    def materialize(self):
+        """Copy the frame out, release the handle, return an ``HDRImage``.
+
+        The one-copy fallback for results that must outlive the slab
+        ring (exactly what the non-lease futures path does for every
+        frame).
+        """
+        from repro.image.hdr import HDRImage
+
+        pixels = self.pixels.copy()
+        self._lease._arena._count_materialized(pixels.nbytes)
+        self.release()
+        return HDRImage.adopt(pixels, name=self.name)
+
+    def __enter__(self) -> "ResultHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
 class ShmArena:
     """Pooled shared-memory segments for the sharded data plane.
 

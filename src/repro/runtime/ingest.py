@@ -1,18 +1,34 @@
-"""Async ingestion front-end: continuous arrivals, deadline coalescing.
+"""Async ingestion front-end: continuous arrivals, fair multi-tenant
+coalescing, deadline batching.
 
 The paper frames tone mapping as a continuous imaging workload (video
 frames arriving one by one), but batching only pays when same-shape frames
 are stacked.  :class:`ToneMapIngestor` bridges the two: submissions are
 admitted one at a time (from threads via :meth:`submit` or from an
-``asyncio`` event loop via :meth:`submit_async`), parked in per-shape
-buckets, and flushed to the backing
-:class:`~repro.runtime.service.ToneMapService` as a coalesced batch when
-either the bucket reaches ``batch_size`` images or its oldest occupant has
-waited ``max_delay_ms`` — the classic batching-under-a-latency-deadline
-trade.
+``asyncio`` event loop via :meth:`submit_async`), parked in per-tenant
+queues, and flushed to the backing
+:class:`~repro.runtime.service.ToneMapService` as coalesced same-shape
+batches when either a shape has ``batch_size`` frames waiting or its
+oldest occupant has waited ``max_delay_ms`` — the classic
+batching-under-a-latency-deadline trade.
 
-Admission control is a bounded queue over everything in flight
-(admitted but unfinished work), with three
+**Multi-tenant fairness.**  Every submission carries a ``tenant``
+identity.  Arrivals land in that tenant's bounded queue (its own
+``queue_limit`` and admission policy, so one tenant exhausting its
+budget never evicts or blocks another), and a deficit-round-robin
+scheduler (:class:`DeficitRoundRobin`) assembles each batch by granting
+seats to tenants in proportion to their :class:`TenantConfig.weight` —
+so a batch coalesces frames *across* tenants and a heavy tenant with a
+thousand queued frames cannot push a light tenant's single frame behind
+them.  Crucially, frames wait in tenant queues (where the scheduler can
+reorder them), not in the service's FIFO thread pool: the ingestor
+dispatches at most ``max_inflight_batches`` concurrent batches — enough
+to keep every pool thread busy, never enough to recreate a deep FIFO
+downstream.  This is the software analogue of the paper's data-mover
+discipline: the accelerator stays saturated from a short, fair,
+scheduler-controlled queue.
+
+Admission control per tenant (and globally) supports three
 :class:`backpressure policies <BackpressurePolicy>`:
 
 ``block``
@@ -21,36 +37,35 @@ Admission control is a bounded queue over everything in flight
     The submitter gets :class:`~repro.errors.ServiceOverloadedError`
     immediately (shed load at the edge, keep latency bounded).
 ``shed-oldest``
-    The oldest *not yet dispatched* submission is dropped — its future
-    fails with :class:`~repro.errors.ServiceOverloadedError` — and the
-    newcomer is admitted (freshest-data-wins, the right policy for live
-    video).  If every admitted image is already executing, the submitter
+    The oldest *not yet dispatched* frame is dropped — over a tenant
+    limit, the tenant's own oldest; over the global limit, the globally
+    oldest — and the newcomer is admitted (freshest-data-wins, the right
+    policy for live video).  Victims of one shed storm fail with a
+    single coalesced :class:`~repro.errors.ServiceOverloadedError`
+    (its ``shed_count`` grows as victims join), not one context per
+    frame.  If every admitted frame is already executing, the submitter
     blocks until a slot frees.
 
-**Zero-copy ingestion.**  Against a sharded service the ingestor does not
-park accepted images at all: ``submit()`` writes the frame's pixels
-straight into the batch's pooled shared-memory input stack (an arena
-lease obtained from the service, one slot per admission), so when a
-bucket flushes, the "batch" handed to the service is a pointer — segment
-name plus frame count — not a pile of arrays waiting to be stacked and
-memcpy'd.  This is the software analogue of the paper's DMA discipline:
-a frame enters the data plane once, at admission, and is never re-staged
-by the host afterwards.  Under ``shed-oldest`` a shed admission frees its
-slot by moving the newest frame into it (one frame copy on the rare
-overload path keeps the stack contiguous).  Results still resolve
-through ordinary futures: the service materializes each batch's outputs
-once (the lease-protocol safety fallback — a future's consumer cannot be
-trusted to release a slab promptly) and the per-image views are adopted
-without further copies.  In-process services keep the PR 2 park-&-stack
-behavior (``zero_copy=False``).
+**Zero-copy dispatch.**  Against a sharded service each batch is written
+directly into a pooled shared-memory input stack at dispatch time — one
+producer write per frame, no ``np.stack``, no re-staging — and handed to
+the service as a pointer (segment name plus frame count).  Results
+resolve through ordinary futures: by default the service materializes
+each batch's outputs once (the safety fallback — an arbitrary future
+consumer cannot be trusted to release a slab promptly); with
+``lease_results=True`` futures instead resolve to zero-copy
+:class:`~repro.runtime.arena.ResultHandle` views that the consumer
+explicitly releases back to the slab ring.  In-process services keep
+the parked-images copy path (``zero_copy=False``).
 
-Queue depth, its high-water mark, reject/shed counts, and end-to-end
-latency percentiles are reported on
-:class:`~repro.runtime.service.ServiceStats` via :attr:`ToneMapIngestor.stats`.
-The full data path (ingest → coalesce → shard → batch) is diagrammed in
-``docs/architecture.md``; sustained-throughput numbers and the
-copies-per-frame counters are tracked by ``benchmarks/bench_runtime.py``
-(see ``docs/benchmarks.md``).
+Queue depth, reject/shed counts, end-to-end latency percentiles, and the
+per-tenant breakdown (:class:`~repro.runtime.service.TenantStats`,
+including Jain's ``fairness_index``) are reported on
+:class:`~repro.runtime.service.ServiceStats` via
+:attr:`ToneMapIngestor.stats`.  The full data path (ingest → DRR
+schedule → shard → batch) is diagrammed in ``docs/architecture.md``;
+the two-tenant contention benchmark lives in
+``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -62,73 +77,191 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from numbers import Real
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import ServiceOverloadedError, ToneMapError
 from repro.image.hdr import HDRImage
-from repro.runtime.arena import ArenaLease
 from repro.runtime.service import (
     LATENCY_WINDOW,
     ServiceStats,
+    TenantStats,
     ToneMapService,
     _percentile,
 )
 
+#: Tenant identity used when callers do not name one.
+DEFAULT_TENANT = "default"
+
 
 class BackpressurePolicy(enum.Enum):
-    """What :meth:`ToneMapIngestor.submit` does when the queue is full."""
+    """What :meth:`ToneMapIngestor.submit` does when a queue is full."""
 
     BLOCK = "block"
     REJECT = "reject"
     SHED_OLDEST = "shed-oldest"
 
 
+@dataclass(frozen=True)
+class TenantConfig:
+    """Scheduling and admission parameters of one tenant.
+
+    Parameters
+    ----------
+    weight:
+        Deficit-round-robin share.  A tenant with weight 2 receives two
+        batch seats for every one a weight-1 tenant receives while both
+        have frames queued; weights are relative, any positive scale
+        works.
+    queue_limit:
+        This tenant's own in-flight bound (admitted but unfinished
+        frames).  ``None`` inherits the ingestor's
+        ``per_tenant_queue_limit`` default.
+    policy:
+        Admission policy when *this tenant's* limit is hit.  ``None``
+        inherits the ingestor's policy.
+    """
+
+    weight: float = 1.0
+    queue_limit: Optional[int] = None
+    policy: Optional[Union[BackpressurePolicy, str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0.0:
+            raise ToneMapError(
+                f"tenant weight must be > 0, got {self.weight}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ToneMapError(
+                f"tenant queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.policy is not None:
+            object.__setattr__(
+                self, "policy", BackpressurePolicy(self.policy)
+            )
+
+
+class DeficitRoundRobin:
+    """Weighted fair seat allocation across tenant queues.
+
+    Classic deficit round robin with unit frame cost (every seat in a
+    same-shape batch is the same size): each tenant's deficit grows by
+    its weight once per rotation and is spent one seat per queued frame.
+    Deficits persist *across* allocations while a tenant stays
+    backlogged — so fractional weights (0.5 = one seat every other
+    rotation) and leftover seats are honored over time — and reset when
+    its queue drains (a tenant cannot bank credit while idle, the
+    property that makes DRR starvation-free).
+
+    Deterministic and clock-free so tests can drive it grant by grant;
+    the ingestor owns one instance per shape-independent scheduler.
+    """
+
+    def __init__(self):
+        self._deficit: Dict[str, float] = {}
+        self._rotation: deque = deque()
+
+    def allocate(
+        self,
+        queued: Mapping[str, int],
+        weights: Mapping[str, float],
+        seats: int,
+    ) -> Dict[str, int]:
+        """Grant up to ``seats`` batch seats across backlogged tenants.
+
+        ``queued`` maps tenant → frames waiting (non-positive entries
+        are ignored); ``weights`` maps tenant → DRR weight (default 1).
+        Returns tenant → seats granted; grants sum to
+        ``min(seats, total queued)``.
+        """
+        for name, backlog in queued.items():
+            if backlog > 0 and name not in self._deficit:
+                self._deficit[name] = 0.0
+                self._rotation.append(name)
+        active = deque(
+            name for name in self._rotation if queued.get(name, 0) > 0
+        )
+        remaining = {name: queued[name] for name in active}
+        grants: Dict[str, int] = {}
+        while seats > 0 and active:
+            # Normalize increments so the heaviest *backlogged* tenant
+            # accrues exactly one seat per rotation: relative shares are
+            # unchanged (units of deficit are arbitrary), but a tiny
+            # absolute weight (1e-6 is valid) can no longer make this
+            # loop spin millions of rotations while the caller holds
+            # the ingestor lock — progress is ≥ 1 seat per rotation.
+            scale = max(float(weights.get(n, 1.0)) for n in active)
+            name = active.popleft()
+            self._deficit[name] += float(weights.get(name, 1.0)) / scale
+            take = min(int(self._deficit[name]), remaining[name], seats)
+            if take > 0:
+                grants[name] = grants.get(name, 0) + take
+                self._deficit[name] -= take
+                remaining[name] -= take
+                seats -= take
+            if remaining[name] > 0:
+                active.append(name)
+            else:
+                # Emptied queues forfeit their credit: idle tenants must
+                # not bank deficit against future storms.
+                self._deficit[name] = 0.0
+        if self._rotation:
+            # Start the next allocation one tenant later so queue-map
+            # ordering gives nobody a persistent positional edge.
+            self._rotation.rotate(-1)
+        return grants
+
+
 @dataclass
 class _Pending:
-    """One admitted image waiting in a shape bucket.
-
-    On the zero-copy path the pixels already live in the batch's arena
-    slot (``slot``) and only the name is retained; on the copy path the
-    image itself is parked until the bucket flushes.
-    """
+    """One admitted frame waiting in its tenant's queue."""
 
     name: str
     future: Future
     enqueued_at: float
-    image: Optional[HDRImage] = None
-    slot: int = -1
+    image: Optional[HDRImage]
+    tenant: str
 
 
-@dataclass
-class _Bucket:
-    """Same-shape arrivals awaiting coalescing; deadline set by the oldest.
+class _TenantState:
+    """Mutable per-tenant bookkeeping (guarded by the ingestor lock)."""
 
-    Zero-copy buckets additionally hold the arena input stack their
-    frames were written into (``lease``); slots ``0..len(items)-1`` are
-    filled, in arrival order except after a shed compaction.
-    """
+    __slots__ = (
+        "name", "weight", "queue_limit", "policy", "queues", "in_flight",
+        "submitted", "served", "rejected", "shed", "queue_peak",
+        "latencies_ms",
+    )
 
-    items: List[_Pending] = field(default_factory=list)
-    lease: Optional[ArenaLease] = None
-    capacity: int = 0
-
-    @property
-    def deadline_base(self) -> float:
-        return self.items[0].enqueued_at
+    def __init__(self, name: str, config: TenantConfig):
+        self.name = name
+        self.weight = config.weight
+        self.queue_limit = config.queue_limit
+        self.policy = config.policy
+        self.queues: Dict[tuple, deque] = {}
+        self.in_flight = 0
+        self.submitted = 0
+        self.served = 0
+        self.rejected = 0
+        self.shed = 0
+        self.queue_peak = 0
+        self.latencies_ms: deque = deque(maxlen=LATENCY_WINDOW)
 
 
 @dataclass
 class _Flush:
-    """One coalesced batch on its way to the service."""
+    """One coalesced batch on its way to the service (slot order)."""
 
     items: List[_Pending]
-    lease: Optional[ArenaLease] = None
-    count: int = 0
+    shape: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.items)
 
 
 class ToneMapIngestor:
-    """Streams single-image arrivals into coalesced service batches.
+    """Streams single-image arrivals into fair, coalesced service batches.
 
     Parameters
     ----------
@@ -141,16 +274,42 @@ class ToneMapIngestor:
         its partial batch is flushed anyway.  The knob trades latency
         (small values) against batching efficiency (large values).
     queue_limit:
-        Maximum in-flight images (admitted but unfinished).  Admissions
-        beyond it trigger ``policy``.
+        Maximum in-flight images across all tenants (admitted but
+        unfinished).  Admissions beyond it trigger ``policy``.
     policy:
-        A :class:`BackpressurePolicy` (or its string value).
+        Default :class:`BackpressurePolicy` (or its string value);
+        individual tenants may override via :class:`TenantConfig`.
     zero_copy:
-        Write admitted frames straight into the service's shared-memory
-        arena instead of parking them (see the module docstring).
-        Defaults to on exactly when the service is sharded — the arena
-        belongs to the shard pool; requesting it against an in-process
-        service raises.
+        Write each batch straight into the service's shared-memory
+        arena at dispatch time instead of re-staging it (see the module
+        docstring).  Defaults to on exactly when the service is sharded
+        — the arena belongs to the shard pool; requesting it against an
+        in-process service raises.
+    tenants:
+        Optional mapping of tenant name → :class:`TenantConfig` (or a
+        bare number, shorthand for a weight).  Unknown tenants are
+        auto-registered at first submission with default config.
+        Tenant identities are service classes (a bounded set — "video",
+        "thumbnails", a customer tier), not per-request ids: per-tenant
+        state (counters, latency windows, scheduler bookkeeping) is
+        retained for the ingestor's lifetime so ``stats`` stays
+        continuous, which means unbounded tenant cardinality grows
+        memory without bound.
+    per_tenant_queue_limit:
+        Default per-tenant in-flight bound for tenants whose config
+        does not set one (``None``: only the global ``queue_limit``
+        binds).
+    lease_results:
+        Resolve futures to zero-copy
+        :class:`~repro.runtime.arena.ResultHandle` views (the consumer
+        must release them) instead of materialized
+        :class:`~repro.image.hdr.HDRImage` copies.  Requires the
+        zero-copy path (sharded service).
+    max_inflight_batches:
+        Dispatch gate: how many batches may be in the service at once.
+        Defaults to the service's thread-pool width — enough to keep
+        every worker busy while excess frames wait where the DRR
+        scheduler can keep them fair.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -162,6 +321,10 @@ class ToneMapIngestor:
         queue_limit: int = 64,
         policy: Union[BackpressurePolicy, str] = BackpressurePolicy.BLOCK,
         zero_copy: Optional[bool] = None,
+        tenants: Optional[Mapping[str, Union[TenantConfig, Real]]] = None,
+        per_tenant_queue_limit: Optional[int] = None,
+        lease_results: bool = False,
+        max_inflight_batches: Optional[int] = None,
     ):
         if max_delay_ms < 0:
             raise ToneMapError(
@@ -169,6 +332,16 @@ class ToneMapIngestor:
             )
         if queue_limit < 1:
             raise ToneMapError(f"queue_limit must be >= 1, got {queue_limit}")
+        if per_tenant_queue_limit is not None and per_tenant_queue_limit < 1:
+            raise ToneMapError(
+                "per_tenant_queue_limit must be >= 1, got "
+                f"{per_tenant_queue_limit}"
+            )
+        if max_inflight_batches is not None and max_inflight_batches < 1:
+            raise ToneMapError(
+                "max_inflight_batches must be >= 1, got "
+                f"{max_inflight_batches}"
+            )
         if zero_copy is None:
             zero_copy = service.pool is not None
         elif zero_copy and service.pool is None:
@@ -176,96 +349,147 @@ class ToneMapIngestor:
                 "zero-copy ingest requires a sharded service "
                 "(construct ToneMapService with shards=N)"
             )
+        if lease_results and not zero_copy:
+            raise ToneMapError(
+                "lease-native results require the zero-copy ingest path "
+                "(a sharded service with zero_copy enabled) — the arena "
+                "slab ring is what the handles lease from"
+            )
         self.service = service
         self.max_delay = max_delay_ms / 1e3
         self.queue_limit = queue_limit
         self.policy = BackpressurePolicy(policy)
         self.zero_copy = bool(zero_copy)
+        self.lease_results = bool(lease_results)
+        self.per_tenant_queue_limit = per_tenant_queue_limit
+        self.max_inflight_batches = (
+            max_inflight_batches
+            if max_inflight_batches is not None
+            else max(1, service.workers)
+        )
 
-        self._ready_full: deque = deque()
         self._lock = threading.Lock()
         self._arrived = threading.Condition(self._lock)
         self._space = threading.Condition(self._lock)
-        self._buckets: Dict[tuple, _Bucket] = {}
+        self._tenants: Dict[str, _TenantState] = {}
+        self._drr = DeficitRoundRobin()
+        self._shape_totals: Dict[tuple, int] = {}
         self._in_flight = 0
+        self._dispatched = 0
         self._closed = False
         self._queue_peak = 0
         self._rejected = 0
         self._shed = 0
+        # One coalesced shed-storm error context per binding scope (a
+        # tenant name, or None for the global limit), reset at the next
+        # dispatch — see _shed_one_locked.
+        self._storms: Dict[Optional[str], ServiceOverloadedError] = {}
         self._latencies_ms: deque = deque(maxlen=LATENCY_WINDOW)
+        for name, config in (tenants or {}).items():
+            self._register_tenant_locked(name, config)
         self._coalescer = threading.Thread(
             target=self._coalesce_loop, name="tonemap-ingest", daemon=True
         )
         self._coalescer.start()
 
     # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def _register_tenant_locked(
+        self, name: str, config: Union[TenantConfig, Real]
+    ) -> _TenantState:
+        if isinstance(config, Real) and not isinstance(config, bool):
+            config = TenantConfig(weight=float(config))
+        if not isinstance(config, TenantConfig):
+            raise ToneMapError(
+                f"tenant config must be a TenantConfig or a weight, got "
+                f"{type(config)!r}"
+            )
+        state = _TenantState(name, config)
+        if state.queue_limit is None:
+            state.queue_limit = self.per_tenant_queue_limit
+        self._tenants[name] = state
+        return state
+
+    def _tenant_locked(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._register_tenant_locked(name, TenantConfig())
+        return state
+
+    # ------------------------------------------------------------------
     # Submission APIs
     # ------------------------------------------------------------------
-    def submit(self, image: HDRImage) -> "Future[HDRImage]":
+    def submit(
+        self, image: HDRImage, tenant: str = DEFAULT_TENANT
+    ) -> "Future[HDRImage]":
         """Admit one image (blocking API); resolves to its output.
 
-        Applies the backpressure policy when ``queue_limit`` images are in
-        flight, then either writes the frame into its batch's arena slot
-        (zero-copy path — the one producer write the frame ever gets) or
-        parks the image in its shape bucket for coalescing.
+        Applies the tenant's (then the global) backpressure policy when
+        a queue limit is hit, then parks the frame in the tenant's queue
+        for the DRR scheduler to batch.
         """
         if not isinstance(image, HDRImage):
             raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
         with self._lock:
             if self._closed:
                 raise ToneMapError("ingestor is closed")
-            while self._in_flight >= self.queue_limit:
-                if self.policy is BackpressurePolicy.REJECT:
+            state = self._tenant_locked(tenant)
+            while True:
+                over_tenant = (
+                    state.queue_limit is not None
+                    and state.in_flight >= state.queue_limit
+                )
+                over_global = self._in_flight >= self.queue_limit
+                if not over_tenant and not over_global:
+                    break
+                policy = state.policy or self.policy
+                if policy is BackpressurePolicy.REJECT:
+                    state.rejected += 1
                     self._rejected += 1
+                    if over_tenant:
+                        raise ServiceOverloadedError(
+                            f"tenant {tenant!r} queue limit "
+                            f"{state.queue_limit} reached "
+                            f"({state.in_flight} frames in flight)",
+                            tenant=tenant,
+                        )
                     raise ServiceOverloadedError(
                         f"queue limit {self.queue_limit} reached "
-                        f"({self._in_flight} images in flight)"
+                        f"({self._in_flight} images in flight)",
+                        tenant=tenant,
                     )
-                if (
-                    self.policy is BackpressurePolicy.SHED_OLDEST
-                    and self._shed_oldest_locked()
+                if policy is BackpressurePolicy.SHED_OLDEST and (
+                    # Over a tenant limit only that tenant's frames are
+                    # fair game; over the global limit the globally
+                    # oldest queued frame goes (whoever queued it — the
+                    # per-tenant limits are what keep a heavy tenant
+                    # from farming the global shed).
+                    self._shed_one_locked(state if over_tenant else None)
                 ):
-                    break
+                    continue
                 # BLOCK, or SHED_OLDEST with nothing left to shed (every
                 # admitted image is already executing): wait for a slot.
                 self._space.wait()
                 if self._closed:
                     raise ToneMapError("ingestor is closed")
-            pending = _Pending(image.name, Future(), time.perf_counter())
+            pending = _Pending(
+                image.name, Future(), time.perf_counter(), image, tenant
+            )
             shape = image.pixels.shape
-            bucket = self._buckets.setdefault(shape, _Bucket())
-            if self.zero_copy:
-                if bucket.lease is None:
-                    bucket.lease = self.service.lease_input(shape)
-                    bucket.capacity = bucket.lease.array.shape[0]
-                pending.slot = len(bucket.items)
-                # The producer write: the frame enters shared memory here
-                # and is never re-staged (stacked/memcpy'd) afterwards.
-                # Done under the ingestor lock deliberately: CPython's
-                # GIL serializes concurrent producers' memcpys anyway, so
-                # moving the write outside would buy no parallelism while
-                # costing a slot-reservation protocol against shed
-                # compaction and deadline flushes of half-written slots.
-                bucket.lease.array[pending.slot] = image.pixels
-                bucket.items.append(pending)
-                if len(bucket.items) >= bucket.capacity:
-                    self._ready_full.append(self._close_bucket_locked(shape))
-            else:
-                pending.image = image
-                bucket.items.append(pending)
+            state.queues.setdefault(shape, deque()).append(pending)
+            state.in_flight += 1
+            state.submitted += 1
+            state.queue_peak = max(state.queue_peak, state.in_flight)
+            self._shape_totals[shape] = self._shape_totals.get(shape, 0) + 1
             self._in_flight += 1
             self._queue_peak = max(self._queue_peak, self._in_flight)
             self._arrived.notify()
         return pending.future
 
-    def _close_bucket_locked(self, shape: tuple) -> _Flush:
-        """Seal a zero-copy bucket into a flush; a fresh bucket takes over."""
-        bucket = self._buckets.pop(shape)
-        return _Flush(
-            items=bucket.items, lease=bucket.lease, count=len(bucket.items)
-        )
-
-    async def submit_async(self, image: HDRImage) -> HDRImage:
+    async def submit_async(
+        self, image: HDRImage, tenant: str = DEFAULT_TENANT
+    ) -> HDRImage:
         """Admit one image from an event loop; returns the output.
 
         Admission (which may block under the ``block`` policy) runs on the
@@ -273,161 +497,238 @@ class ToneMapIngestor:
         result is awaited without blocking either.
         """
         loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(None, self.submit, image)
+        future = await loop.run_in_executor(None, self.submit, image, tenant)
         return await asyncio.wrap_future(future)
 
-    def map_many(self, images: Sequence[HDRImage]) -> list[HDRImage]:
+    def map_many(
+        self, images: Sequence[HDRImage], tenant: str = DEFAULT_TENANT
+    ) -> list:
         """Submit many images one by one and wait for all outputs in order.
 
         Convenience for scripted workloads; under the ``reject`` /
         ``shed-oldest`` policies a dropped submission surfaces here as
         :class:`~repro.errors.ServiceOverloadedError`.
         """
-        futures = [self.submit(image) for image in images]
+        futures = [self.submit(image, tenant) for image in images]
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
-    # Coalescing
+    # Shedding
     # ------------------------------------------------------------------
-    def _shed_oldest_locked(self) -> bool:
-        """Drop the oldest still-coalescing submission; True if one was shed."""
-        oldest_shape = None
-        oldest_at = None
-        for shape, bucket in self._buckets.items():
-            if bucket.items and (
-                oldest_at is None or bucket.deadline_base < oldest_at
-            ):
-                oldest_shape = shape
-                oldest_at = bucket.deadline_base
-        if oldest_shape is None:
+    def _shed_one_locked(
+        self, state: Optional[_TenantState] = None
+    ) -> bool:
+        """Drop the oldest still-queued frame; True if one was shed.
+
+        ``state`` narrows the search to one tenant (its own limit was
+        hit); ``None`` sheds the globally oldest.  Victims of one storm
+        share a single coalesced :class:`ServiceOverloadedError` — the
+        context is created once per storm (reset at the next dispatch)
+        and its ``shed_count`` grows per victim while the storm lasts,
+        so a thousand-frame storm does not build a thousand exception
+        objects (the price of sharing: ``shed_count`` is a live storm
+        counter, not a per-victim snapshot).  Storms are coalesced *per
+        binding scope*: each tenant limit gets its own context (its
+        ``tenant`` names that tenant) and the global limit gets its own
+        (``tenant=None``, since it may shed several tenants' frames) —
+        concurrent storms never cross-attribute metadata.  Queued
+        frames hold no arena slots (the producer write happens at
+        dispatch), so there is nothing to release before signalling —
+        the slot-accounting tests assert exactly that.
+        """
+        candidates = [state] if state is not None else self._tenants.values()
+        victim_state: Optional[_TenantState] = None
+        victim_shape: Optional[tuple] = None
+        oldest: Optional[float] = None
+        for tenant_state in candidates:
+            for shape, queue in tenant_state.queues.items():
+                if queue and (
+                    oldest is None or queue[0].enqueued_at < oldest
+                ):
+                    oldest = queue[0].enqueued_at
+                    victim_state = tenant_state
+                    victim_shape = shape
+        if victim_state is None:
             return False
-        bucket = self._buckets[oldest_shape]
-        victim = bucket.items.pop(0)
-        if bucket.lease is not None and bucket.items:
-            # Keep the arena stack contiguous: slots must stay {0..n-1},
-            # so the top slot's frame moves into the freed slot (one
-            # frame copy, overload-only).  No-op when the victim held the
-            # top slot itself.
-            top = len(bucket.items)
-            if victim.slot != top:
-                tail = next(p for p in bucket.items if p.slot == top)
-                bucket.lease.array[victim.slot] = bucket.lease.array[top]
-                tail.slot = victim.slot
-        if not bucket.items:
-            if bucket.lease is not None:
-                bucket.lease.release()
-            del self._buckets[oldest_shape]
+        queue = victim_state.queues[victim_shape]
+        victim = queue.popleft()
+        if not queue:
+            del victim_state.queues[victim_shape]
+        self._shape_totals[victim_shape] -= 1
+        if self._shape_totals[victim_shape] <= 0:
+            del self._shape_totals[victim_shape]
+        victim_state.in_flight -= 1
+        victim_state.shed += 1
         self._in_flight -= 1
         self._shed += 1
-        victim.future.set_exception(
-            ServiceOverloadedError(
-                "shed by a newer arrival (policy=shed-oldest, "
-                f"queue_limit={self.queue_limit})"
+        scope = state.name if state is not None else None
+        storm = self._storms.get(scope)
+        if storm is None:
+            if state is not None:
+                bound = (
+                    f"tenant {state.name!r} queue_limit={state.queue_limit}"
+                )
+            else:
+                bound = f"queue_limit={self.queue_limit}"
+            storm = self._storms[scope] = ServiceOverloadedError(
+                f"shed by a newer arrival (policy=shed-oldest, {bound})",
+                tenant=scope,
             )
-        )
+        storm.shed_count += 1
+        victim.image = None
+        try:
+            victim.future.set_exception(storm)
+        except futures_module.InvalidStateError:
+            pass  # the caller cancelled it first
         return True
 
-    def _ready_batches_locked(self, flush_all: bool) -> List[_Flush]:
-        """Pop every batch that is full or past its deadline.
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _oldest_locked(self, shape: tuple) -> float:
+        """Earliest enqueue time among queued frames of one shape."""
+        return min(
+            state.queues[shape][0].enqueued_at
+            for state in self._tenants.values()
+            if state.queues.get(shape)
+        )
 
-        Full zero-copy batches were already sealed at submit time (the
-        bucket rotates the moment its arena stack fills); here they are
-        drained alongside deadline-expired partials.
+    def _select_locked(self, shape: tuple, seats: int) -> List[_Pending]:
+        """Pop one batch's frames for ``shape``, seats granted by DRR."""
+        queued = {
+            name: len(state.queues[shape])
+            for name, state in self._tenants.items()
+            if state.queues.get(shape)
+        }
+        weights = {name: self._tenants[name].weight for name in queued}
+        grants = self._drr.allocate(queued, weights, seats)
+        items: List[_Pending] = []
+        for name, take in grants.items():
+            queue = self._tenants[name].queues[shape]
+            for _ in range(take):
+                items.append(queue.popleft())
+            if not queue:
+                del self._tenants[name].queues[shape]
+        self._shape_totals[shape] -= len(items)
+        if self._shape_totals[shape] <= 0:
+            del self._shape_totals[shape]
+        # Slot order is arrival order: fairness decides *membership* of
+        # the batch, not a reshuffle of frames that all complete together.
+        items.sort(key=lambda pending: pending.enqueued_at)
+        return items
+
+    def _ready_flushes_locked(self, flush_all: bool) -> List[_Flush]:
+        """Assemble every batch that may dispatch right now.
+
+        A shape is ready when it has ``batch_size`` frames queued
+        (across tenants), when its oldest frame passed the deadline, or
+        when draining at close.  Deadline-expired shapes outrank merely
+        full ones (oldest frame first): a tenant flooding one frame
+        shape keeps that shape permanently full, and if fullness won,
+        other shapes' frames would blow straight through
+        ``max_delay_ms`` — cross-shape latency is part of the fairness
+        contract, batching efficiency is not.  The dispatch gate caps
+        how many batches may be in the service at once — ready frames
+        beyond it stay in tenant queues where the DRR scheduler keeps
+        them fair.
         """
         now = time.perf_counter()
         batch_size = self.service.batch_size
-        ready: List[_Flush] = []
-        while self._ready_full:
-            ready.append(self._ready_full.popleft())
-        for shape in list(self._buckets):
-            bucket = self._buckets[shape]
-            if bucket.lease is None:
-                while len(bucket.items) >= batch_size:
-                    ready.append(
-                        _Flush(
-                            items=bucket.items[:batch_size],
-                            count=batch_size,
-                        )
-                    )
-                    bucket.items = bucket.items[batch_size:]
-            expired = (
-                bucket.items
-                and now - bucket.deadline_base >= self.max_delay
+        flushes: List[_Flush] = []
+        while self._dispatched < self.max_inflight_batches:
+            full_shape: Optional[tuple] = None
+            expired_shape: Optional[tuple] = None
+            expired_at: Optional[float] = None
+            for shape, total in self._shape_totals.items():
+                oldest = self._oldest_locked(shape)
+                if flush_all or now - oldest >= self.max_delay:
+                    if expired_at is None or oldest < expired_at:
+                        expired_at = oldest
+                        expired_shape = shape
+                elif full_shape is None and total >= batch_size:
+                    full_shape = shape
+            chosen = expired_shape if expired_shape is not None else full_shape
+            if chosen is None:
+                break
+            seats = min(batch_size, self._shape_totals[chosen])
+            flushes.append(
+                _Flush(items=self._select_locked(chosen, seats), shape=chosen)
             )
-            if bucket.items and (flush_all or expired):
-                ready.append(
-                    _Flush(
-                        items=bucket.items,
-                        lease=bucket.lease,
-                        count=len(bucket.items),
-                    )
-                )
-                bucket.items = []
-                bucket.lease = None
-            if not bucket.items:
-                if bucket.lease is not None:  # pragma: no cover - defensive
-                    bucket.lease.release()
-                del self._buckets[shape]
-        return ready
+            self._dispatched += 1
+        if flushes:
+            # A dispatch boundary ends every current shed storm: the
+            # next storms get fresh coalesced error contexts.
+            self._storms.clear()
+        return flushes
 
     def _nearest_deadline_locked(self) -> Optional[float]:
         deadlines = [
-            bucket.deadline_base + self.max_delay
-            for bucket in self._buckets.values()
-            if bucket.items
+            self._oldest_locked(shape) + self.max_delay
+            for shape in self._shape_totals
         ]
         return min(deadlines) if deadlines else None
 
     def _coalesce_loop(self) -> None:
-        """Background thread: waits for full buckets or expired deadlines."""
+        """Background thread: waits for ready batches or expired deadlines."""
         while True:
             with self._lock:
-                while not self._closed:
-                    batches = self._ready_batches_locked(flush_all=False)
+                while True:
+                    batches = self._ready_flushes_locked(
+                        flush_all=self._closed
+                    )
                     if batches:
                         break
-                    deadline = self._nearest_deadline_locked()
-                    timeout = (
-                        None
-                        if deadline is None
-                        else max(0.0, deadline - time.perf_counter())
-                    )
+                    if self._closed and not self._shape_totals:
+                        return
+                    if self._dispatched >= self.max_inflight_batches:
+                        # Gate saturated: no deadline can make a batch
+                        # dispatchable, so an expired-deadline timeout
+                        # would just busy-spin this loop at 100% CPU.
+                        # Sleep untimed — _complete frees a gate slot
+                        # and notifies.
+                        timeout = None
+                    else:
+                        deadline = self._nearest_deadline_locked()
+                        timeout = (
+                            None
+                            if deadline is None
+                            else max(0.0, deadline - time.perf_counter())
+                        )
                     self._arrived.wait(timeout=timeout)
-                else:
-                    batches = self._ready_batches_locked(flush_all=True)
             for batch in batches:
                 self._dispatch(batch)
-            with self._lock:
-                if (
-                    self._closed
-                    and not self._buckets
-                    and not self._ready_full
-                ):
-                    return
 
     def _dispatch(self, flush: _Flush) -> None:
         """Hand one coalesced batch to the service; fan results back out.
 
-        Zero-copy flushes are a pointer hand-off: the service takes
-        ownership of the arena lease (and releases it), the ingestor only
-        forwards slot names.  If submission itself fails, the lease is
-        released here so an overloaded shutdown cannot strand a slab.
+        On the zero-copy path this is where each frame gets its one
+        producer write — straight into a pooled arena input stack, slot
+        order equal to item order — and the service takes ownership of
+        the lease.  If admission itself fails, the lease is released
+        here so an overloaded shutdown cannot strand a slab.
         """
+        names = [pending.name for pending in flush.items]
         try:
-            if flush.lease is not None:
-                names: List[Optional[str]] = [None] * flush.count
-                for pending in flush.items:
-                    names[pending.slot] = pending.name
-                future = self.service.submit_stack(
-                    flush.lease, flush.count, names
-                )
+            if self.zero_copy:
+                lease = self.service.lease_input(flush.shape)
+                try:
+                    for slot, pending in enumerate(flush.items):
+                        lease.array[slot] = pending.image.pixels
+                        pending.image = None  # the frame now lives in SHM
+                    future = self.service.submit_stack(
+                        lease,
+                        flush.count,
+                        names,
+                        lease_results=self.lease_results,
+                    )
+                except BaseException:
+                    lease.release()
+                    raise
             else:
                 future = self.service.submit_batch(
-                    [p.image for p in flush.items]
+                    [pending.image for pending in flush.items]
                 )
         except BaseException as exc:  # pool shut down, etc.
-            if flush.lease is not None:
-                flush.lease.release()
             self._complete(flush, None, exc)
             return
         future.add_done_callback(
@@ -437,45 +738,77 @@ class ToneMapIngestor:
     def _complete(self, flush: _Flush, result_fn, exc) -> None:
         outputs = None if exc is not None else result_fn()
         done_at = time.perf_counter()
-        # Resolve the futures *before* releasing the queue slots: close()
-        # returns once nothing is in flight, and its contract is that every
-        # future handed out earlier has resolved by then.  A future the
-        # caller cancelled while it waited raises InvalidStateError on
-        # set_* — its result is simply dropped, but it must not prevent the
-        # rest of the batch from resolving.
+        # Count the batch first so a caller who observes a resolved
+        # future also observes its tenant's served/latency counters ...
+        with self._lock:
+            for pending in flush.items:
+                state = self._tenants[pending.tenant]
+                if exc is None:
+                    state.served += 1
+                latency_ms = (done_at - pending.enqueued_at) * 1e3
+                state.latencies_ms.append(latency_ms)
+                self._latencies_ms.append(latency_ms)
+        # ... then resolve the futures *before* releasing the queue
+        # slots: close() returns once nothing is in flight, and its
+        # contract is that every future handed out earlier has resolved
+        # by then.  A future the caller cancelled while it waited raises
+        # InvalidStateError on set_* — its result is simply dropped, but
+        # it must not prevent the rest of the batch from resolving.
         for index, pending in enumerate(flush.items):
             try:
                 if exc is not None:
                     pending.future.set_exception(exc)
                 else:
-                    # Zero-copy outputs are ordered by arena slot; parked
-                    # batches by position.
-                    position = pending.slot if flush.lease is not None else index
-                    pending.future.set_result(outputs[position])
+                    pending.future.set_result(outputs[index])
             except futures_module.InvalidStateError:
-                pass
+                if exc is None and self.lease_results:
+                    # Nobody will ever see this frame's handle: release
+                    # its reference so the slab can recycle.
+                    outputs[index].release()
         with self._lock:
+            self._dispatched -= 1
             for pending in flush.items:
-                self._latencies_ms.append(
-                    (done_at - pending.enqueued_at) * 1e3
-                )
+                self._tenants[pending.tenant].in_flight -= 1
             self._in_flight -= len(flush.items)
             self._space.notify_all()
+            # A freed gate slot may unblock the scheduler.
+            self._arrived.notify_all()
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     @property
     def stats(self) -> ServiceStats:
-        """Service throughput counters merged with this ingestor's queue view.
+        """Service throughput counters merged with this ingestor's view.
 
-        ``images``/``pixels``/``seconds``/``batches`` come from the backing
-        service; ``queue_depth`` counts this ingestor's in-flight images
-        and the latency percentiles are end-to-end (submit to result).
+        ``images``/``pixels``/``seconds``/``batches`` come from the
+        backing service; ``queue_depth`` counts this ingestor's in-flight
+        images, latency percentiles are end-to-end (submit to result),
+        and ``tenants`` carries the per-tenant breakdown the
+        ``fairness_index`` is computed over.
         """
         base = self.service.stats
         with self._lock:
             ordered = sorted(self._latencies_ms)
+            tenants = tuple(
+                TenantStats(
+                    tenant=name,
+                    weight=state.weight,
+                    submitted=state.submitted,
+                    served=state.served,
+                    rejected=state.rejected,
+                    shed=state.shed,
+                    queue_depth=state.in_flight,
+                    queue_peak=state.queue_peak,
+                    latency_p50_ms=_percentile(
+                        sorted(state.latencies_ms), 0.50
+                    ),
+                    latency_p95_ms=_percentile(
+                        sorted(state.latencies_ms), 0.95
+                    ),
+                )
+                for name, state in sorted(self._tenants.items())
+            )
             return replace(
                 base,
                 queue_depth=self._in_flight,
@@ -485,10 +818,11 @@ class ToneMapIngestor:
                 latency_p50_ms=_percentile(ordered, 0.50),
                 latency_p95_ms=_percentile(ordered, 0.95),
                 latency_p99_ms=_percentile(ordered, 0.99),
+                tenants=tenants,
             )
 
     def close(self) -> None:
-        """Flush queued work, wait for in-flight futures, stop the coalescer.
+        """Flush queued work, wait for in-flight futures, stop the scheduler.
 
         Every future handed out before ``close`` resolves (blocked
         submitters instead get :class:`~repro.errors.ToneMapError`).  The

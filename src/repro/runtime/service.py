@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.errors import ToneMapError
 from repro.image.hdr import HDRImage
-from repro.runtime.arena import ArenaLease
+from repro.runtime.arena import ArenaLease, ResultHandle
 from repro.runtime.batch import BatchToneMapper
 from repro.runtime.shard import AutoscalePolicy, ShardPool
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
@@ -54,6 +54,41 @@ def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
     rank = max(0, min(len(sorted_values) - 1,
                       int(fraction * len(sorted_values) + 0.5) - 1))
     return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant counters of a multi-tenant ingestor.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant identity frames were submitted under.
+    weight:
+        The tenant's deficit-round-robin scheduling weight.
+    submitted / served / rejected / shed:
+        Admission outcomes: frames submitted, frames tone-mapped to
+        completion, frames refused at admission (``reject`` policy),
+        frames dropped to admit newer arrivals (``shed-oldest``).
+    queue_depth / queue_peak:
+        This tenant's frames currently in flight (admitted, unfinished)
+        and the high-water mark.
+    latency_p50_ms / latency_p95_ms:
+        Submit-to-result percentiles over this tenant's recent frames —
+        the per-tenant p95 is what the fairness benchmark compares
+        against a solo run.
+    """
+
+    tenant: str
+    weight: float = 1.0
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    shed: int = 0
+    queue_depth: int = 0
+    queue_peak: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -93,6 +128,13 @@ class ServiceStats:
         autoscaling is on.
     scale_ups / scale_downs:
         Autoscaler decisions applied so far.
+    shard_respawns:
+        Worker-set rebuilds performed after worker crashes (0 in
+        health; see :meth:`~repro.runtime.shard.ShardPool.run_leased`).
+    tenants:
+        Per-tenant :class:`TenantStats`, filled in by a multi-tenant
+        :class:`~repro.runtime.ingest.ToneMapIngestor` (empty for the
+        bare service, which is tenant-blind by design).
     """
 
     images: int = 0
@@ -109,6 +151,8 @@ class ServiceStats:
     shards_active: int = 0
     scale_ups: int = 0
     scale_downs: int = 0
+    shard_respawns: int = 0
+    tenants: tuple[TenantStats, ...] = ()
 
     @property
     def pixels_per_sec(self) -> float:
@@ -116,6 +160,23 @@ class ServiceStats:
         if self.seconds <= 0.0:
             return 0.0
         return self.pixels / self.seconds
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-tenant weighted service rates.
+
+        Computed over ``served / weight`` for every tenant that has
+        submitted work: 1.0 means every tenant received service exactly
+        proportional to its weight, ``1/n`` means one tenant of *n*
+        monopolized the pool.  1.0 (vacuously fair) when fewer than two
+        tenants have submitted.
+        """
+        rates = [
+            t.served / t.weight for t in self.tenants if t.submitted > 0
+        ]
+        if len(rates) < 2 or sum(rates) == 0.0:
+            return 1.0
+        return sum(rates) ** 2 / (len(rates) * sum(r * r for r in rates))
 
 
 class ToneMapService:
@@ -281,14 +342,23 @@ class ToneMapService:
         return outputs
 
     def _run_leased_admitted(
-        self, in_lease: ArenaLease, count: int, names: Sequence[str]
-    ) -> tuple[HDRImage, ...]:
+        self,
+        in_lease: ArenaLease,
+        count: int,
+        names: Sequence[str],
+        lease_results: bool = False,
+    ) -> tuple:
         """Execute one arena-resident batch (zero-copy ingest path).
 
-        Owns ``in_lease`` — released on every exit path.  The outputs are
-        materialized once (the futures safety fallback: a future's
-        consumer cannot be trusted to release a lease promptly) and fanned
-        out as adopted, copy-free views of that one buffer.
+        Owns ``in_lease`` — released on every exit path.  By default the
+        outputs are materialized once (the futures safety fallback: an
+        arbitrary future consumer cannot be trusted to release a lease
+        promptly) and fanned out as adopted, copy-free views of that one
+        buffer.  With ``lease_results`` the copy disappears entirely:
+        each output is a :class:`~repro.runtime.arena.ResultHandle`
+        holding its own reference on the batch's output slab — the
+        caller opted into the release contract, so the slab goes back to
+        the ring when the last frame's handle is released.
         """
         start = time.perf_counter()
         try:
@@ -296,12 +366,25 @@ class ToneMapService:
                 out_lease = self._pool.run_leased(in_lease, count)
             finally:
                 in_lease.release()
-            out = out_lease.materialize()
-            outputs = tuple(
-                HDRImage.adopt(out[i], name=f"{names[i]}:tonemapped")
-                for i in range(count)
-            )
-            pixels = count * int(out.shape[1]) * int(out.shape[2])
+            height = int(out_lease.array.shape[1])
+            width = int(out_lease.array.shape[2])
+            if lease_results:
+                outputs = tuple(
+                    ResultHandle(
+                        out_lease, slot=i, name=f"{names[i]}:tonemapped"
+                    )
+                    for i in range(count)
+                )
+                # Drop the batch's own reference: the slab now lives
+                # exactly as long as the longest-held frame handle.
+                out_lease.release()
+            else:
+                out = out_lease.materialize()
+                outputs = tuple(
+                    HDRImage.adopt(out[i], name=f"{names[i]}:tonemapped")
+                    for i in range(count)
+                )
+            pixels = count * height * width
         except BaseException:
             self._abort_batch()
             raise
@@ -309,15 +392,26 @@ class ToneMapService:
         return outputs
 
     def submit_stack(
-        self, in_lease: ArenaLease, count: int, names: Sequence[str]
-    ) -> "Future[tuple[HDRImage, ...]]":
+        self,
+        in_lease: ArenaLease,
+        count: int,
+        names: Sequence[str],
+        lease_results: bool = False,
+    ) -> "Future[tuple]":
         """Queue an arena-resident stack: zero-copy batch admission.
 
         ``in_lease`` must view a stack whose first ``count`` frames were
-        written by the producer (the ingestor fills slots at ``submit()``
+        written by the producer (the ingestor fills slots at dispatch
         time); ``names`` labels each frame slot.  The service takes
         ownership of the lease once this returns.  Requires a sharded
         service — the arena belongs to the pool.
+
+        The future resolves to a tuple of :class:`HDRImage` (default:
+        one materialize copy per batch, unbounded lifetime) or, with
+        ``lease_results``, of zero-copy
+        :class:`~repro.runtime.arena.ResultHandle` views the caller must
+        release (see the lease lifecycle table in
+        ``docs/architecture.md``).
         """
         if self._pool is None:
             raise ToneMapError(
@@ -327,7 +421,11 @@ class ToneMapService:
         self._admit_batch()
         try:
             return self._executor.submit(
-                self._run_leased_admitted, in_lease, count, list(names)
+                self._run_leased_admitted,
+                in_lease,
+                count,
+                list(names),
+                lease_results,
             )
         except BaseException:
             self._abort_batch()
@@ -415,6 +513,12 @@ class ToneMapService:
         return self._pool
 
     @property
+    def workers(self) -> int:
+        """Width of the batch thread pool (the ingestor's dispatch gate
+        defaults to this, so it can keep every pool thread busy)."""
+        return self._executor._max_workers
+
+    @property
     def stats(self) -> ServiceStats:
         """A snapshot of the aggregate counters (latency = batch run time)."""
         with self._lock:
@@ -431,6 +535,7 @@ class ToneMapService:
                 shards_active=self._pool.active_shards,
                 scale_ups=self._pool.scale_ups,
                 scale_downs=self._pool.scale_downs,
+                shard_respawns=self._pool.worker_respawns,
             )
         return snapshot
 

@@ -28,6 +28,17 @@ plane has three entry points, fastest first:
   written into the arena one by one (no intermediate ``np.stack``) and
   outputs are adopted views into one materialized buffer.
 
+**Crash recovery.**  A worker dying (OOM kill, segfault) breaks the
+whole ``ProcessPoolExecutor``; :meth:`ShardPool.run_leased` absorbs
+that: it releases the batch's output slab, respawns the worker set
+(once per crash, however many batches observed it — generation
+counted), and replays the batch on the fresh workers, since its input
+frames still sit untouched in the arena.  Only a persistently crashing
+workload (the replay dies too) surfaces
+:class:`~repro.errors.ShardCrashError`.  ``tests/test_fault_injection.py``
+SIGKILLs real workers to hold the no-leak / no-hang / autoscaler-alive
+contract.
+
 Workers attach to a segment **once** and cache the mapping by name —
 valid for the life of the arena, because pooled segments are only
 unlinked at :meth:`close`.  Attachment never touches the resource
@@ -73,13 +84,14 @@ import os
 import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ToneMapError
+from repro.errors import ShardCrashError, ToneMapError
 from repro.image.hdr import HDRImage
 from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
 from repro.runtime.batch import BatchToneMapper
@@ -291,6 +303,7 @@ class DataPlaneStats:
     batches: int = 0
     frames: int = 0
     bytes_served: int = 0
+    worker_respawns: int = 0
     arena: ArenaStats = ArenaStats()
 
     @property
@@ -417,22 +430,69 @@ class ShardPool:
         self._frames = 0
         self._bytes_served = 0
         self._count_lock = threading.Lock()
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp.get_context(start_method),
+        self._mp_context = mp.get_context(start_method)
+        self._respawn_lock = threading.Lock()
+        self._generation = 0
+        self._respawns = 0
+        self._executor = self._spawn_executor()
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        """Start a full worker set and prove every initializer ran.
+
+        One pending task per worker forces the executor to start all
+        processes, and resolving the futures proves each initializer
+        ran.  At construction no process is ever forked after caller
+        threads exist — autoscaling only varies how many of these warm
+        workers a batch fans out across.  (A *respawn* after a worker
+        crash necessarily forks while service threads are live; the
+        workers only run NumPy + repro code, which tolerates that, and
+        the alternative — a permanently broken pool — is worse.)
+        """
+        executor = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=self._mp_context,
             initializer=_init_worker,
-            initargs=(params, fixed_config),
+            initargs=(self.params, self.fixed_config),
         )
-        # Spawn every worker now: one pending task per worker forces the
-        # executor to start all processes, and resolving the futures proves
-        # each initializer ran.  No process is ever forked after caller
-        # threads exist — autoscaling only varies how many of these warm
-        # workers a batch fans out across.
         for future in [
-            self._executor.submit(_worker_ready) for _ in range(workers)
+            executor.submit(_worker_ready) for _ in range(self._workers)
         ]:
             if not future.result():  # pragma: no cover - defensive
                 raise ToneMapError("shard worker failed to initialize")
+        return executor
+
+    def _respawn(self, generation: int) -> None:
+        """Replace a broken executor with a fresh warm worker set.
+
+        Idempotent per executor generation: concurrent batches that all
+        observed the same crash race here, the first one rebuilds, the
+        rest see the bumped generation and return — so one crash costs
+        one respawn, not one per in-flight batch.
+        """
+        with self._respawn_lock:
+            if self._generation != generation:
+                return  # another thread already replaced this executor
+            broken = self._executor
+            self._executor = self._spawn_executor()
+            self._generation += 1
+            self._respawns += 1
+        broken.shutdown(wait=False)
+
+    @property
+    def worker_respawns(self) -> int:
+        """Worker-set rebuilds performed after crashes (0 in health)."""
+        return self._respawns
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current worker processes.
+
+        Exposed for operational tooling and the fault-injection tests
+        (which SIGKILL one to prove the pool recovers); the list is a
+        snapshot — workers may be respawned at any time.
+        """
+        return [
+            process.pid for process in self._executor._processes.values()
+        ]
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -484,8 +544,12 @@ class ShardPool:
         """Lease an arena input stack for producers to write frames into."""
         return self.arena.lease_input(shape, dtype)
 
-    def run_leased(self, in_lease: ArenaLease, count: Optional[int] = None
-                   ) -> ArenaLease:
+    def run_leased(
+        self,
+        in_lease: ArenaLease,
+        count: Optional[int] = None,
+        retries: int = 1,
+    ) -> ArenaLease:
         """Tone-map a stack already resident in the arena (zero-copy).
 
         ``in_lease`` is an input lease whose array holds ``count`` frames
@@ -494,6 +558,15 @@ class ShardPool:
         slot is no longer needed (the ingestor reuses its stack across
         batches).  Returns an output lease viewing the results; release
         or materialize it.
+
+        **Crash recovery.**  A worker dying mid-batch (OOM kill, crash)
+        breaks the whole ``ProcessPoolExecutor``; this method then
+        releases the batch's output slab, respawns the worker set once
+        (see :meth:`_respawn`), and replays the batch up to ``retries``
+        times — the input frames still sit untouched in ``in_lease``,
+        so a replay is a pure re-dispatch.  A replay that crashes again
+        raises :class:`~repro.errors.ShardCrashError`; either way no
+        lease is leaked and the pool stays usable for later batches.
         """
         if in_lease.array is None:
             raise ToneMapError("cannot run a released arena lease")
@@ -505,38 +578,73 @@ class ShardPool:
                 f"count must be in [1, {shape[0]}], got {count}"
             )
         run_shape = (count,) + tuple(shape[1:])
-        out_lease = self.arena.lease_output(run_shape, np.float32)
-        futures = []
-        try:
-            # Plain loop, not a comprehension: if a submit raises midway
-            # (pool shutting down), the futures already submitted must
-            # stay tracked so the except path can quiesce them.
-            for lo, hi in _slab_bounds(count, self._active):
-                futures.append(
-                    self._executor.submit(
-                        _run_slab,
-                        in_lease.segment_name,
-                        out_lease.segment_name,
-                        run_shape,
-                        lo,
-                        hi,
-                        in_lease.cacheable,
-                        out_lease.cacheable,
+        spare = retries
+        while True:
+            generation = self._generation
+            executor = self._executor
+            out_lease = self.arena.lease_output(run_shape, np.float32)
+            futures = []
+            try:
+                # Plain loop, not a comprehension: if a submit raises midway
+                # (pool shutting down), the futures already submitted must
+                # stay tracked so the except path can quiesce them.
+                for lo, hi in _slab_bounds(count, self._active):
+                    futures.append(
+                        executor.submit(
+                            _run_slab,
+                            in_lease.segment_name,
+                            out_lease.segment_name,
+                            run_shape,
+                            lo,
+                            hi,
+                            in_lease.cacheable,
+                            out_lease.cacheable,
+                        )
                     )
-                )
-            for future in futures:
-                future.result()
-        except BaseException:
-            # Quiesce before releasing: the surviving slab workers are
-            # still writing into the output segment (and reading the
-            # input), and release would recycle it to a concurrent batch
-            # — silent cross-batch corruption.  Cancel what hasn't
-            # started, wait out what has.
-            for future in futures:
-                future.cancel()
-            wait(futures)
-            out_lease.release()
-            raise
+                for future in futures:
+                    future.result()
+            except BrokenProcessPool as exc:
+                # A worker died.  The broken executor rejects all work
+                # and its futures are already resolved — but *surviving*
+                # worker processes may still be mid-write into the
+                # output slab (the manager thread fails futures before
+                # it finishes terminating the other workers).  Join the
+                # whole broken executor first: releasing the slab while
+                # a straggler still writes it would hand a
+                # concurrently-mutating segment to the replay or a
+                # neighbouring batch — silent cross-batch corruption.
+                for future in futures:
+                    future.cancel()
+                wait(futures)
+                executor.shutdown(wait=True)
+                out_lease.release()
+                stale = self._generation != generation
+                self._respawn(generation)
+                if not stale:
+                    # Only fresh-generation crashes consume a retry: a
+                    # batch that merely raced a concurrent respawn (its
+                    # executor was already replaced) replays for free.
+                    if spare <= 0:
+                        raise ShardCrashError(
+                            "shard worker died again while replaying a "
+                            f"{count}-frame batch (respawns so far: "
+                            f"{self._respawns}) — workload appears to "
+                            "crash workers persistently"
+                        ) from exc
+                    spare -= 1
+                continue
+            except BaseException:
+                # Quiesce before releasing: the surviving slab workers are
+                # still writing into the output segment (and reading the
+                # input), and release would recycle it to a concurrent batch
+                # — silent cross-batch corruption.  Cancel what hasn't
+                # started, wait out what has.
+                for future in futures:
+                    future.cancel()
+                wait(futures)
+                out_lease.release()
+                raise
+            break
         # Batches complete concurrently on the service's pool threads;
         # the gate benchmarks divide by these, so no lost increments.
         with self._count_lock:
@@ -624,6 +732,7 @@ class ShardPool:
                 batches=self._batches,
                 frames=self._frames,
                 bytes_served=self._bytes_served,
+                worker_respawns=self._respawns,
                 arena=self.arena.stats,
             )
 

@@ -184,6 +184,7 @@ class TestCommittedBaseline:
             "test_shard_zero_copy_data_plane::speedup_vs_legacy_cycle",
             "test_shard_legacy_cycle_data_plane::frames_per_sec",
             "test_huge_plane_narrow_kernel[tiled]::pixels_per_sec",
+            "test_two_tenant_contention_small::light_p95_x_solo",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"

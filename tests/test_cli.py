@@ -84,6 +84,30 @@ class TestParser:
         assert args.max_shards == 6
         assert args.arena_slots == 8
 
+    def test_batch_tenant_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.tenant_weights is None
+        assert args.per_tenant_queue_limit is None
+        assert args.lease_results is False
+
+    def test_batch_tenant_options(self):
+        args = build_parser().parse_args(
+            ["batch", "--tenant-weights", "heavy=3,light=1",
+             "--per-tenant-queue-limit", "8", "--lease-results",
+             "--shards", "2"]
+        )
+        assert args.tenant_weights == "heavy=3,light=1"
+        assert args.per_tenant_queue_limit == 8
+        assert args.lease_results is True
+
+    def test_tenant_weight_spec_parsing(self):
+        from repro.cli import _parse_tenant_weights
+
+        assert _parse_tenant_weights("a=2,b=0.5") == {"a": 2.0, "b": 0.5}
+        for bad in ("a", "a=", "=2", "a=zero", "a=-1", "a=0"):
+            with pytest.raises(SystemExit):
+                _parse_tenant_weights(bad)
+
 
 class TestMain:
     def test_table2(self, capsys):
@@ -157,6 +181,36 @@ class TestMain:
         assert main(["--size", "32", "batch", "--count", "2", "--fixed"]) == 0
         out = capsys.readouterr().out
         assert "fixed-point 16-bit" in out
+
+    def test_batch_multi_tenant_lease_results(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "6", "--batch-size", "2",
+             "--shards", "2", "--tenant-weights", "heavy=3,light=1",
+             "--per-tenant-queue-limit", "8", "--lease-results"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streaming (ingestor)" in out
+        assert "lease-native" in out
+        assert "tenant heavy" in out and "tenant light" in out
+        assert "fairness" in out
+
+    def test_batch_lease_results_require_shards(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "32", "batch", "--count", "2",
+                  "--lease-results"])
+
+    def test_batch_bad_tenant_weights_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "32", "batch", "--count", "2",
+                  "--tenant-weights", "heavy"])
+
+    def test_batch_tenant_outputs_written(self, capsys, tmp_path):
+        # Lease-native results still materialize for file output.
+        assert main(
+            ["--size", "32", "batch", "--count", "4", "--batch-size", "2",
+             "--shards", "1", "--lease-results", "-o", str(tmp_path)]
+        ) == 0
+        assert len(list(tmp_path.glob("*.ppm"))) == 4
 
     def test_batch_sharded(self, capsys):
         assert main(

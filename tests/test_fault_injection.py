@@ -1,0 +1,231 @@
+"""Fault injection: shard workers die, the pool must not.
+
+The scenarios SIGKILL real worker processes (or make them suicide on
+their first slab) and assert the recovery contract of
+``ShardPool.run_leased``:
+
+* the broken batch is replayed once on a respawned worker set (callers
+  see a result, not an exception, for a one-off crash);
+* a *persistently* crashing workload surfaces
+  :class:`~repro.errors.ShardCrashError` instead of hanging;
+* no arena lease is leaked on any path and ``/dev/shm`` ends clean;
+* the autoscaler keeps operating across a respawn;
+* futures handed out by the ingestor always resolve — no hung callers.
+
+Worker-kill tests fork fresh pools per test and are marked ``fault`` so
+the nightly CI job can select them explicitly (they run in the default
+suite too — each is sub-second).
+"""
+
+import os
+import signal
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardCrashError
+from repro.image.synthetic import SceneParams, make_scene
+from repro.runtime import BatchToneMapper, ShardPool, ToneMapIngestor, ToneMapService
+from repro.runtime import shard as shard_module
+from repro.tonemap.pipeline import ToneMapParams
+
+pytestmark = pytest.mark.fault
+
+PARAMS = ToneMapParams(sigma=2.0, radius=6)
+SHM_DIR = "/dev/shm"
+
+needs_fork = pytest.mark.skipif(
+    sys.platform != "linux", reason="fork-based worker injection is Linux-only"
+)
+
+
+def shm_names():
+    if not os.path.isdir(SHM_DIR):
+        pytest.skip("no /dev/shm to scan on this platform")
+    return set(os.listdir(SHM_DIR))
+
+
+def _stack(frames=4, size=64, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, (frames, size, size)).astype(np.float32)
+
+
+def _suicide_slab(*args, **kwargs):  # pragma: no cover - dies in the worker
+    """Replacement slab task: the worker SIGKILLs itself immediately."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestWorkerKillRecovery:
+    def test_killed_worker_batch_replayed_and_pool_recovers(self):
+        baseline = shm_names()
+        stack = _stack()
+        want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        with ShardPool(PARAMS, shards=2) as pool:
+            lease = pool.lease_input(stack.shape)
+            lease.array[:] = stack
+            pool.run_leased(lease).release()  # warm, known-good
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            # The next batch trips over the corpse, respawns, replays —
+            # and the caller never notices.
+            out = pool.run_leased(lease)
+            got = out.array.copy()
+            out.release()
+            lease.release()
+            np.testing.assert_array_equal(got, want)
+            assert pool.worker_respawns >= 1
+            assert pool.data_plane_stats.worker_respawns == pool.worker_respawns
+            assert pool.arena.stats.leases_active == 0
+        assert shm_names() <= baseline
+
+    def test_kill_mid_batch_no_hung_caller_no_leaked_lease(self):
+        stack = _stack(frames=8, size=256)
+        with ShardPool(PARAMS, shards=2) as pool:
+            lease = pool.lease_input(stack.shape)
+            lease.array[:] = stack
+            pool.run_leased(lease).release()  # warm
+            results = []
+            failures = []
+            first_done = threading.Event()
+            killed = threading.Event()
+
+            def hammer():
+                for index in range(4):
+                    try:
+                        out = pool.run_leased(lease)
+                        results.append(out.array.copy())
+                        out.release()
+                    except ShardCrashError as exc:  # pragma: no cover
+                        failures.append(exc)
+                    first_done.set()
+                    if index == 0:
+                        # Batch 2 starts only after the signal landed, so
+                        # a later submission is guaranteed to trip over
+                        # the corpse — no lucky all-done-before-the-kill
+                        # timing.
+                        killed.wait(timeout=60)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            assert first_done.wait(timeout=60)
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            killed.set()
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "caller hung after worker kill"
+            # Every batch either replayed to success or failed loudly.
+            assert len(results) + len(failures) == 4
+            assert not failures, "single crash must be absorbed by replay"
+            want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+            for got in results:
+                np.testing.assert_array_equal(got, want)
+            lease.release()
+            assert pool.worker_respawns >= 1
+            assert pool.arena.stats.leases_active == 0
+
+    @needs_fork
+    def test_persistent_crash_raises_shard_crash_error(self, monkeypatch):
+        # Workers forked while `_run_slab` is patched suicide on every
+        # slab: the replay crashes too, which must surface as
+        # ShardCrashError (bounded retries), not an infinite respawn
+        # loop or a hang.
+        monkeypatch.setattr(shard_module, "_run_slab", _suicide_slab)
+        stack = _stack()
+        with ShardPool(PARAMS, shards=2, start_method="fork") as pool:
+            lease = pool.lease_input(stack.shape)
+            lease.array[:] = stack
+            with pytest.raises(ShardCrashError):
+                pool.run_leased(lease)
+            assert pool.worker_respawns == 2  # initial crash + failed replay
+            assert pool.arena.stats.leases_active == 1  # only the input
+            # Heal the workload: workers respawned after the patch is
+            # undone run the real slab task again.
+            monkeypatch.undo()
+            out = pool.run_leased(lease)
+            want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+            np.testing.assert_array_equal(out.array, want)
+            out.release()
+            lease.release()
+            assert pool.arena.stats.leases_active == 0
+
+    def test_autoscaler_keeps_operating_after_respawn(self):
+        stack = _stack()
+        with ShardPool(PARAMS, shards=1, autoscale=True, max_shards=2) as pool:
+            lease = pool.lease_input(stack.shape)
+            lease.array[:] = stack
+            pool.run_leased(lease).release()
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            pool.run_leased(lease).release()  # respawn + replay
+            assert pool.worker_respawns >= 1
+            # The autoscaler state machine survived: observations still
+            # move the active width within bounds.
+            for _ in range(8):
+                pool.observe(queue_depth=8)
+            assert pool.active_shards == 2
+            for _ in range(32):
+                pool.observe(queue_depth=0)
+            assert pool.active_shards == 1
+            pool.run_leased(lease).release()
+            lease.release()
+
+
+class TestServiceAndIngestorFaultPaths:
+    def test_ingestor_futures_resolve_across_worker_kill(self):
+        baseline = shm_names()
+        images = [
+            make_scene(
+                "window_interior",
+                SceneParams(height=32, width=32, seed=7 + i),
+            )
+            for i in range(12)
+        ]
+        with ToneMapService(PARAMS, batch_size=4, shards=2) as service:
+            with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                futures = []
+                for index, image in enumerate(images):
+                    futures.append(ingestor.submit(image))
+                    if index == 5:
+                        os.kill(
+                            service.pool.worker_pids()[0], signal.SIGKILL
+                        )
+                outcomes = [f.result(timeout=120) for f in futures]
+            # Replay absorbed the crash: every frame got a real result.
+            assert all(out is not None for out in outcomes)
+            assert service.pool.arena.stats.leases_active == 0
+            assert service.stats.shard_respawns >= 1
+        assert shm_names() <= baseline
+
+    def test_parent_side_crash_fails_futures_without_hanging(self):
+        # If the pool gives up (ShardCrashError), every affected future
+        # must fail promptly — and the service must keep serving once
+        # the fault clears.
+        images = [
+            make_scene(
+                "window_interior",
+                SceneParams(height=24, width=24, seed=60 + i),
+            )
+            for i in range(4)
+        ]
+        with ToneMapService(PARAMS, batch_size=2, shards=1) as service:
+            pool = service.pool
+            real = pool.run_leased
+
+            def always_crashing(in_lease, count=None, retries=1):
+                raise ShardCrashError("injected: workers crash persistently")
+
+            pool.run_leased = always_crashing
+            try:
+                with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                    futures = [ingestor.submit(img) for img in images[:2]]
+                    for future in futures:
+                        with pytest.raises(ShardCrashError):
+                            future.result(timeout=30)
+            finally:
+                pool.run_leased = real
+            assert pool.arena.stats.leases_active == 0
+            # Fault cleared: the same service serves again.
+            with ToneMapIngestor(service, max_delay_ms=5) as ingestor:
+                outputs = ingestor.map_many(images[2:])
+            assert len(outputs) == 2
+            assert pool.arena.stats.leases_active == 0

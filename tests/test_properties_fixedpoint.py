@@ -1,7 +1,10 @@
 """Property-based tests (hypothesis) for the fixed-point substrate.
 
 Invariants: quantization error bounds, scalar/vector agreement, widening
-exactness, cast monotonicity, overflow containment.
+exactness, cast monotonicity, overflow containment — and, for the
+runtime's hot path, random-format ``FixedArray.cast`` round trips within
+the mode's proven bound plus bit-identity of the batched fixed-point
+blur against the per-plane reference over random stacks and kernels.
 """
 
 import numpy as np
@@ -17,6 +20,12 @@ from repro.fixedpoint import (
     quantize_array,
     raw_to_float,
 )
+from repro.tonemap.fixed_blur import (
+    FixedBlurConfig,
+    fixed_point_blur_batch,
+    fixed_point_blur_plane,
+)
+from repro.tonemap.gaussian import GaussianKernel
 
 formats = st.builds(
     FixedFormat,
@@ -131,6 +140,93 @@ class TestArithmeticProperties:
         assert ((x >> bits) << bits) == x
 
 
+#: A wide, high-resolution source format for cast experiments: any
+#: narrow target drawn from `formats` is strictly coarser, so the cast
+#: is a true narrowing re-quantization.
+WIDE = FixedFormat(48, 10, quant=Quant.RND, overflow=Overflow.SAT)
+
+
+class TestCastProperties:
+    """Random-format ``FixedArray.cast`` round trips, within proven bounds.
+
+    The bound being "proven" means: truncation moves a value at most one
+    LSB toward the mode's direction, rounding at most half an LSB — the
+    exact re-quantization error the narrowing hardware cast exhibits
+    (docs/fixed_point.md derives both).
+    """
+
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=300, deadline=None)
+    def test_narrowing_error_within_mode_bound(self, fmt, value):
+        wide = FixedArray.from_float(np.array([value]), WIDE)
+        exact = wide.to_float()[0]
+        if not (fmt.min_value <= exact <= fmt.max_value):
+            return  # overflow handling owns out-of-range inputs
+        cast = wide.cast(fmt).to_float()[0]
+        bound = (
+            fmt.resolution
+            if fmt.quant in (Quant.TRN, Quant.TRN_ZERO)
+            else fmt.resolution / 2
+        )
+        assert abs(cast - exact) <= bound + 1e-12
+
+    @given(fmt=formats, value=in_range_values)
+    @settings(max_examples=300, deadline=None)
+    def test_saturating_cast_contained(self, fmt, value):
+        fmt = fmt.with_modes(overflow=Overflow.SAT)
+        cast = FixedArray.from_float(np.array([value]), WIDE).cast(fmt)
+        assert fmt.raw_min <= int(cast.raw[0]) <= fmt.raw_max
+
+    @given(fmt=formats, values=st.lists(in_range_values, min_size=1,
+                                        max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_cast_idempotent(self, fmt, values):
+        wide = FixedArray.from_float(np.asarray(values), WIDE)
+        once = wide.cast(fmt)
+        twice = once.cast(fmt)
+        np.testing.assert_array_equal(once.raw, twice.raw)
+
+    @given(
+        fmt=formats,
+        extra_int=st.integers(min_value=0, max_value=6),
+        extra_frac=st.integers(min_value=0, max_value=8),
+        values=st.lists(in_range_values, min_size=1, max_size=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_widening_roundtrip_exact(self, fmt, extra_int, extra_frac,
+                                      values):
+        # A format with more integer *and* more fraction bits represents
+        # every narrow value exactly: narrow -> wide -> narrow must be
+        # the identity on raws, and the wide view must equal the narrow
+        # reals bit for bit.  (For an unsigned narrow the signed wide
+        # needs one extra integer bit — the ap_fixed sign bit lives in
+        # the integer field.)
+        sign_pad = 0 if fmt.signed else 1
+        wide = FixedFormat(
+            fmt.word_length + extra_int + extra_frac + sign_pad,
+            fmt.int_length + extra_int + sign_pad,
+            signed=True,
+            quant=fmt.quant,
+            overflow=Overflow.SAT,
+        )
+        narrow = FixedArray.from_float(np.asarray(values), fmt)
+        widened = narrow.cast(wide)
+        np.testing.assert_array_equal(
+            widened.to_float(), narrow.to_float()
+        )
+        back = widened.cast(fmt)
+        np.testing.assert_array_equal(back.raw, narrow.raw)
+
+    @given(fmt=formats, values=st.lists(in_range_values, min_size=1,
+                                        max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_array_cast_matches_scalar_for_random_formats(self, fmt, values):
+        arr = FixedArray.from_float(np.asarray(values), WIDE).cast(fmt)
+        for i, value in enumerate(values):
+            scalar = ApFixed.from_float(value, WIDE).cast(fmt)
+            assert arr.element(i) == scalar
+
+
 class TestArrayProperties:
     @given(
         fmt=formats,
@@ -158,3 +254,69 @@ class TestArrayProperties:
         for i, v in enumerate(values):
             scalar = ApFixed.from_float(v, wide).cast(narrow)
             assert arr.element(i) == scalar
+
+
+#: Blur configs the batched-vs-per-plane identity is proven over: the
+#: paper's default 16-bit formats plus a truncating and a
+#: non-renormalized coefficient variant (different rounding paths).
+BLUR_CONFIGS = [
+    FixedBlurConfig(),
+    FixedBlurConfig(
+        data_fmt=FixedFormat(
+            16, 4, signed=True, quant=Quant.TRN, overflow=Overflow.SAT
+        )
+    ),
+    FixedBlurConfig(
+        coeff_fmt=FixedFormat(
+            12, 0, signed=False, quant=Quant.RND, overflow=Overflow.SAT
+        ),
+        renormalize_coefficients=False,
+    ),
+]
+
+
+class TestFixedBlurBatchProperties:
+    """`fixed_point_blur_batch` is bit-identical to per-plane, always.
+
+    The batched path folds mirrored taps across whole ``(N, H, W)``
+    stacks; the contract (docs/architecture.md, "Fixed point is
+    bit-exact everywhere") is that stacking changes *throughput*, never
+    a single bit — here fuzzed over random stack shapes, pixel data,
+    kernel widths, and blur configs rather than a handful of fixtures.
+    """
+
+    @given(
+        n=st.integers(min_value=1, max_value=3),
+        height=st.integers(min_value=6, max_value=20),
+        width=st.integers(min_value=6, max_value=20),
+        sigma=st.floats(min_value=0.6, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        config=st.sampled_from(BLUR_CONFIGS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_bit_identical_to_per_plane(
+        self, n, height, width, sigma, seed, config
+    ):
+        stack = np.random.default_rng(seed).uniform(
+            0.0, 1.0, (n, height, width)
+        )
+        kernel = GaussianKernel(sigma=sigma)
+        batched = fixed_point_blur_batch(stack, kernel, config)
+        per_plane = np.stack(
+            [fixed_point_blur_plane(plane, kernel, config) for plane in stack]
+        )
+        np.testing.assert_array_equal(batched, per_plane)
+
+    @given(
+        sigma=st.floats(min_value=0.6, max_value=2.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_of_one_equals_plane(self, sigma, seed):
+        # The N=1 degenerate case must not take a different code path.
+        plane = np.random.default_rng(seed).uniform(0.0, 1.0, (12, 9))
+        kernel = GaussianKernel(sigma=sigma)
+        np.testing.assert_array_equal(
+            fixed_point_blur_batch(plane[np.newaxis], kernel)[0],
+            fixed_point_blur_plane(plane, kernel),
+        )
