@@ -335,6 +335,162 @@ def test_sharded_outputs_exact():
 
 
 # ----------------------------------------------------------------------
+# Fused dataflow: single-pass tiled stages vs the staged stack path
+# ----------------------------------------------------------------------
+#: The fused acceptance workload: 1024² frames, narrow kernel.  This is
+#: the memory-bound regime the fused engine (and the ROADMAP's threaded
+#: row-partitioned tiled-blur item it closes) targets: the staged path
+#: streams several full-frame float64 temporaries through main memory
+#: per stage, the fused path streams the frame once through band
+#: scratch.  Wide kernels (>= FFT_CROSSOVER_TAPS) shift the staged path
+#: onto full-plane FFTs whose transform-length amortization a band
+#: engine cannot match — sigma 4 measures ~1.4x, sigma 16 ~0.5x (see
+#: docs/architecture.md's regime table) — so the >= 1.5x gate is pinned
+#: where the engine is meant to run, with the masks bit-identical.
+FUSED_SIZE = 1024
+FUSED_FRAMES = 3
+FUSED_PARAMS = ToneMapParams(sigma=2.0)
+
+
+def _fused_stack():
+    rng = np.random.default_rng(1024)
+    return rng.uniform(
+        0.0, 1.0, (FUSED_FRAMES, FUSED_SIZE, FUSED_SIZE)
+    ).astype(np.float32)
+
+
+def _best_interleaved(fn_a, fn_b, rounds=5):
+    """Best-of timing with a/b rounds interleaved.
+
+    Sequential bests would hand whichever runs second a warmer allocator
+    (glibc raises its mmap threshold as big temporaries churn, which
+    speeds the staged path's full-frame allocations up considerably);
+    interleaving gives both sides the same memory state every round.
+    """
+    times_a, times_b = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - start)
+    return min(times_a), min(times_b)
+
+
+def _record_fused(benchmark, fused_mapper, extra):
+    if benchmark.stats is not None:
+        pixels = FUSED_FRAMES * FUSED_SIZE * FUSED_SIZE
+        best_s = benchmark.stats.stats.min
+        benchmark.extra_info["frames"] = FUSED_FRAMES
+        benchmark.extra_info["pixels_per_sec"] = pixels / best_s
+        stats = fused_mapper.fused_stats
+        benchmark.extra_info["threads_used"] = stats.threads_used
+        benchmark.extra_info["bands_executed"] = stats.bands_executed
+        benchmark.extra_info["halo_rows_reused"] = stats.halo_rows_reused
+        benchmark.extra_info.update(extra)
+
+
+def test_fused_vs_staged_1024(benchmark):
+    """The ISSUE 5 tentpole case: fused single-pass vs staged stack.
+
+    Both mappers run the identical workload through ``run_stack`` into a
+    preallocated float32 output (the shard-worker calling convention).
+    The steady-state ``intermediate_bytes`` delta — the proof that the
+    fused path allocates zero stage temporaries — is measured across the
+    benchmark rounds and gated strictly (machine-independent) by
+    ``benchmarks/baseline.json``; the fused-over-staged speedup and the
+    pixel rate are wall-clock bands for the reference host.
+    """
+    stack = _fused_stack()
+    out = np.empty(stack.shape, dtype=np.float32)
+    staged = BatchToneMapper(FUSED_PARAMS)
+    fused = BatchToneMapper(FUSED_PARAMS, fused=True, threads=1)
+    fused.run_stack(stack, out=out)  # warm: scratch allocated, caches hot
+    before = fused.fused_stats
+    benchmark.pedantic(
+        lambda: fused.run_stack(stack, out=out),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    after = fused.fused_stats
+    intermediate = after.intermediate_bytes - before.intermediate_bytes
+    assert intermediate == 0, (
+        "steady-state fused runs must not allocate stage scratch"
+    )
+    # The narrow kernel keeps the blur on the folded row convolution:
+    # the contract here is bit-identity, not a tolerance.
+    want = np.empty(stack.shape, dtype=np.float32)
+    staged.run_stack(stack, out=want)
+    np.testing.assert_array_equal(out, want)
+    if benchmark.stats is not None:  # skip discarded timings in quick mode
+        staged_s, fused_s = _best_interleaved(
+            lambda: staged.run_stack(stack, out=want),
+            lambda: fused.run_stack(stack, out=out),
+        )
+        _record_fused(benchmark, fused, {
+            "intermediate_bytes": float(intermediate),
+            "speedup_vs_staged": staged_s / fused_s,
+        })
+
+
+def test_fused_threads_1024(benchmark):
+    """Threaded row partitioning: 2 fused threads vs 1 on one stack.
+
+    The speedup is a wall-clock observation of the host's core count
+    (~1.0 on the 1-core reference container, approaching 2x on 2+ free
+    cores), so only the zero-allocation counter is gated strictly; the
+    recorded ratio is the thread-sweep trajectory for perf runners.
+    """
+    stack = _fused_stack()
+    out = np.empty(stack.shape, dtype=np.float32)
+    single = BatchToneMapper(FUSED_PARAMS, fused=True, threads=1)
+    threaded = BatchToneMapper(FUSED_PARAMS, fused=True, threads=2)
+    single.run_stack(stack, out=out)
+    threaded.run_stack(stack, out=out)  # warm both workers' scratch
+    threaded.run_stack(stack, out=out)
+    before = threaded.fused_stats
+    benchmark.pedantic(
+        lambda: threaded.run_stack(stack, out=out),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    after = threaded.fused_stats
+    intermediate = after.intermediate_bytes - before.intermediate_bytes
+    assert intermediate == 0, (
+        "steady-state threaded fused runs must not allocate stage scratch"
+    )
+    assert after.threads_used == 2
+    if benchmark.stats is not None:  # skip discarded timings in quick mode
+        single_s, threaded_s = _best_interleaved(
+            lambda: single.run_stack(stack, out=out),
+            lambda: threaded.run_stack(stack, out=out),
+        )
+        _record_fused(benchmark, threaded, {
+            "intermediate_bytes": float(intermediate),
+            "speedup_vs_1_thread": single_s / threaded_s,
+        })
+
+
+def test_fused_outputs_exact():
+    """Fused vs staged bit-identity on the folded path, sharded too.
+
+    A plain (non-benchmark-fixture) test so it also runs under
+    ``--benchmark-disable`` in the CI smoke job.  sigma 2 keeps the blur
+    on the folded row convolution, where the contract is bit-identity —
+    through the in-process mapper, the threaded engine, and fused shard
+    workers.
+    """
+    params = ToneMapParams(sigma=2.0)
+    stack = _data_plane_stack()[:, :96, :96].copy()
+    want = BatchToneMapper(params).run_stack(stack).astype(np.float32)
+    fused = BatchToneMapper(params, fused=True, threads=2)
+    got = fused.run_stack(stack).astype(np.float32)
+    np.testing.assert_array_equal(got, want)
+    with ShardPool(params, shards=2, fused=True, fused_threads=1) as pool:
+        sharded = pool.run_stack(stack)
+    np.testing.assert_array_equal(sharded, want)
+
+
+# ----------------------------------------------------------------------
 # Multi-tenant fairness: light tenant p95 under heavy contention
 # ----------------------------------------------------------------------
 CONTENTION_SIZE = 64

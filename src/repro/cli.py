@@ -25,7 +25,10 @@ signals; ``--max-delay-ms`` / ``--queue-limit`` / ``--policy`` stream
 the images through the :class:`repro.runtime.ToneMapIngestor` front-end
 (deadline coalescing + bounded-queue backpressure, zero-copy into the
 arena when sharded) instead of submitting them as one pre-grouped
-workload.  See ``docs/architecture.md`` for the full data path.
+workload; ``--fused`` (with ``--threads N``) runs batches through the
+fused band engine — single-pass tiled stages with no full-frame
+intermediates (:mod:`repro.runtime.fused`).  See
+``docs/architecture.md`` for the full data path.
 """
 
 from __future__ import annotations
@@ -107,6 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--fixed", action="store_true",
         help="use the bit-accurate 16-bit fixed-point blur",
+    )
+    batch.add_argument(
+        "--sigma", type=float, default=None,
+        help="Gaussian mask sigma (default: the paper's 16). Narrow "
+             "kernels (e.g. 2-4) are the regime where --fused wins",
+    )
+    batch.add_argument(
+        "--fused", action="store_true",
+        help="run batches through the fused band engine (single-pass "
+             "tiled stages, no full-frame intermediates; float-only — "
+             "incompatible with --fixed). Fastest with narrow kernels "
+             "(--sigma 2-4); wide kernels stay faster on the staged "
+             "full-plane FFT path",
+    )
+    batch.add_argument(
+        "--threads", type=int, default=None,
+        help="fused worker threads per mapper/worker process (default: "
+             "REPRO_FUSED_THREADS env, else CPU count; requires --fused)",
     )
     batch.add_argument(
         "--shards", type=int, default=None,
@@ -234,6 +255,32 @@ def run_batch(args) -> None:
 
     from repro.runtime import AutoscalePolicy
 
+    # Flag validation first: a usage error must not cost the caller the
+    # synthetic-image generation below.
+    if args.fused and args.fixed:
+        raise SystemExit(
+            "--fused is float-only (the fused engine is the blur); "
+            "drop --fused or --fixed"
+        )
+    if args.threads is not None and not args.fused:
+        raise SystemExit("--threads requires --fused")
+    if args.threads is not None and args.threads < 1:
+        raise SystemExit(f"--threads must be >= 1, got {args.threads}")
+    params = (
+        ToneMapParams() if args.sigma is None
+        else ToneMapParams(sigma=args.sigma)
+    )
+    if args.fused:
+        from repro.runtime.fused import FUSED_FFT_MIN_TAPS
+
+        if params.kernel().taps >= FUSED_FFT_MIN_TAPS:
+            print(
+                f"note: sigma {params.sigma:g} gives a "
+                f"{params.kernel().taps}-tap kernel — the staged "
+                "full-plane FFT path is usually faster there; --fused "
+                "wins on narrow kernels (try --sigma 2)",
+                file=sys.stderr,
+            )
     images = _batch_images(args)
     fixed_config = FixedBlurConfig() if args.fixed else None
     tenants = (
@@ -292,7 +339,7 @@ def run_batch(args) -> None:
     dropped = 0
     start = time.perf_counter()
     with ToneMapService(
-        ToneMapParams(),
+        params,
         max_workers=args.workers,
         batch_size=args.batch_size,
         shards=shards,
@@ -300,6 +347,8 @@ def run_batch(args) -> None:
         autoscale=args.autoscale,
         autoscale_policy=autoscale_policy,
         arena_slots=4 if args.arena_slots is None else args.arena_slots,
+        fused=args.fused,
+        fused_threads=args.threads,
     ) as service:
         if streaming:
             tenant_names = sorted(tenants) if tenants else None
@@ -358,6 +407,9 @@ def run_batch(args) -> None:
     print(f"  images        : {stats.images}")
     print(f"  pixels        : {stats.pixels}")
     print(f"  blur          : {blur_name}")
+    if args.fused:
+        threads = args.threads if args.threads is not None else "auto"
+        print(f"  engine        : fused band dataflow ({threads} threads)")
     print(f"  mode          : {mode}")
     print(f"  batch size    : {args.batch_size}")
     print(f"  shards        : {shards or 1} process(es)")

@@ -8,6 +8,15 @@ four composable stages (diagrammed in ``docs/architecture.md``):
   images into one ``(N, H, W)`` volume and runs all four pipeline stages
   as whole-batch array operations, amortizing every pass (the blur FFTs,
   and the batched fixed-point folded passes) across the batch.
+* :mod:`repro.runtime.fused` — the fused band engine
+  (:class:`~repro.runtime.fused.FusedToneMapPlan` +
+  :class:`~repro.runtime.fused.FusedExecutor`): the software analogue of
+  the paper's ``DATAFLOW`` pragma.  All four stages run in one pass over
+  cache-sized row bands (vertical blur halos come from a reusable
+  line-buffer ring), partitioned across a persistent thread pool, with
+  zero full-frame stage temporaries
+  (:class:`~repro.runtime.fused.FusedStats` proves it).  Opt in with
+  ``fused=True`` on the mapper, pool, or service.
 * :class:`~repro.runtime.arena.ShmArena` — the persistent shared-memory
   data plane: pooled, size-classed input stacks plus a ring of output
   slabs, reused across batches and handed out as reference-counted
@@ -52,6 +61,11 @@ run and read it.
 
 from repro.runtime.arena import ArenaLease, ArenaStats, ResultHandle, ShmArena
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
+from repro.runtime.fused import (
+    FusedExecutor,
+    FusedStats,
+    FusedToneMapPlan,
+)
 from repro.runtime.ingest import (
     BackpressurePolicy,
     DeficitRoundRobin,
@@ -75,6 +89,9 @@ __all__ = [
     "BatchToneMapResult",
     "DataPlaneStats",
     "DeficitRoundRobin",
+    "FusedExecutor",
+    "FusedStats",
+    "FusedToneMapPlan",
     "ResultHandle",
     "ServiceStats",
     "ShardAutoscaler",

@@ -20,18 +20,30 @@ used by the process-pool sharding backend
 (:class:`repro.runtime.ShardPool`), which hands each worker a
 shared-memory slab of the stacked pixels.  Throughput of both paths is
 tracked by ``benchmarks/bench_runtime.py`` (see ``docs/benchmarks.md``).
+
+With ``fused=True`` the float path switches from the staged stack
+execution to the fused band engine
+(:mod:`repro.runtime.fused`): normalize → blur → mask → adjust run in
+one pass over cache-sized row bands (optionally partitioned across
+``threads`` workers), with no full-frame stage temporaries — the
+software analogue of the paper's ``DATAFLOW`` pragma.  Outputs follow
+the fused tolerance contract (bit-identical to staged wherever the blur
+resolves to the folded/tiled row convolution, the blur module's 1e-9
+band under the FFT).  The fused engine is float-only: it *is* the blur,
+so it cannot host a custom/fixed-point ``blur_fn``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ToneMapError
 from repro.image.color import LUMA_WEIGHTS
 from repro.image.hdr import HDRImage
+from repro.runtime.fused import FusedExecutor, FusedStats, FusedToneMapPlan
 from repro.tonemap.adjust import adjust_brightness_contrast
 from repro.tonemap.gaussian import blur_batch
 from repro.tonemap.masking import masking_exponent
@@ -70,20 +82,63 @@ class BatchToneMapper:
     Parameters
     ----------
     params:
-        Pipeline parameters, shared by every image in a batch.  A custom
-        ``blur_fn`` (e.g. the fixed-point accelerator model) is applied
-        plane-by-plane; the default float path uses the fully batched
+        Pipeline parameters, shared by every image in a batch (``None``
+        constructs a fresh default set per mapper — no module-level
+        instance is shared between mappers).  A custom ``blur_fn`` (e.g.
+        the fixed-point accelerator model) is applied plane-by-plane;
+        the default float path uses the fully batched
         :func:`repro.tonemap.gaussian.blur_batch`.
+    fused:
+        Run the float path through the fused band engine
+        (:mod:`repro.runtime.fused`) instead of the staged stack
+        execution.  Requires ``params.blur_fn`` to be ``None``.
+    threads:
+        Fused worker threads (``None`` = ``REPRO_FUSED_THREADS`` env,
+        else CPU count).  Ignored unless ``fused``.
     """
 
-    def __init__(self, params: ToneMapParams = ToneMapParams()):
-        self.params = params
-        self._kernel = params.kernel()
+    def __init__(
+        self,
+        params: Optional[ToneMapParams] = None,
+        fused: bool = False,
+        threads: Optional[int] = None,
+    ):
+        self.params = params if params is not None else ToneMapParams()
+        self._kernel = self.params.kernel()
+        self._plan: Optional[FusedToneMapPlan] = None
+        self._engine: Optional[FusedExecutor] = None
+        if fused:
+            # Raises ToneMapError for custom blur_fn params — the fused
+            # engine is the blur, so a silent staged fallback would lie
+            # about what executed.
+            self._plan = FusedToneMapPlan(self.params)
+            self._engine = FusedExecutor(threads=threads)
 
     @property
     def kernel(self):
         """The Gaussian kernel used by the blur stage."""
         return self._kernel
+
+    @property
+    def fused(self) -> bool:
+        """Whether stacks run through the fused band engine."""
+        return self._engine is not None
+
+    @property
+    def fused_stats(self) -> Optional[FusedStats]:
+        """Fused-dataflow counters (``None`` for a staged mapper)."""
+        return self._engine.stats if self._engine is not None else None
+
+    def close(self) -> None:
+        """Retire the fused engine's worker threads (no-op when staged).
+
+        A staged mapper holds no resources; a fused one owns a
+        :class:`~repro.runtime.fused.FusedExecutor` whose threads would
+        otherwise idle until garbage collection.  :class:`ToneMapService`
+        calls this from its own ``close``.
+        """
+        if self._engine is not None:
+            self._engine.close()
 
     def run(self, images: Sequence[HDRImage]) -> BatchToneMapResult:
         """Tone-map a batch of same-shape images and return every output."""
@@ -101,23 +156,36 @@ class BatchToneMapper:
                     "ToneMapService does)"
                 )
 
-        # The stack is processed in cache-sized sub-batches of whole
-        # images: the stage arithmetic is identical either way (every
-        # operation is per-pixel or per-plane), but streaming a bounded
-        # working set through steps 1-4 keeps the element-wise stages in
-        # last-level cache instead of thrashing N full-stack temporaries.
         height, width = shape[0], shape[1]
-        image_bytes = int(np.prod(shape)) * 8
-        chunk = max(1, _STAGE_CHUNK_BYTES // image_bytes)
         count = len(images)
         masks = np.empty((count, height, width), dtype=np.float64)
+
+        # The stack is processed in cache-sized sub-batches of whole
+        # images.  For the staged path that keeps the element-wise
+        # stages in last-level cache instead of thrashing N full-stack
+        # temporaries; the fused engine bounds its own working set via
+        # banding, but chunking still applies so the adopted output
+        # views below pin at most one chunk-sized backing buffer — a
+        # caller keeping one image from a large batch must not keep the
+        # whole batch's pixels alive.
+        image_bytes = int(np.prod(shape)) * 8
+        chunk = max(1, _STAGE_CHUNK_BYTES // image_bytes)
         outputs: list[HDRImage] = []
         for lo in range(0, count, chunk):
             sub = images[lo : lo + chunk]
-            out_chunk = self._run_stack(
-                np.stack([image.pixels for image in sub]),
-                masks[lo : lo + len(sub)],
-            ).astype(np.float32)
+            stacked = np.stack([image.pixels for image in sub])
+            if self._engine is not None:
+                # Fused: float32 output bands are written directly — no
+                # full-stack float64 result to down-convert.
+                out_chunk = np.empty(stacked.shape, dtype=np.float32)
+                self._engine.run(
+                    self._plan, stacked, out_chunk,
+                    masks[lo : lo + len(sub)],
+                )
+            else:
+                out_chunk = self._run_stack(
+                    stacked, masks[lo : lo + len(sub)]
+                ).astype(np.float32)
             # Adopt (don't re-copy / re-scan) the outputs when every
             # stage is repo-internal arithmetic: validated finite inputs
             # cannot produce NaN/negatives through normalize, the
@@ -224,6 +292,11 @@ class BatchToneMapper:
             raise ToneMapError(
                 f"out shape {out.shape} does not match stack {stack.shape}"
             )
+        if self._engine is not None:
+            # Single fused pass; the shard workers' hot path.  No mask
+            # volume is materialized at all — the mask bands live and die
+            # in per-thread scratch.
+            return self._engine.run(self._plan, stack, out)
         count, height, width = stack.shape[0], stack.shape[1], stack.shape[2]
         image_bytes = int(np.prod(stack.shape[1:])) * 8
         chunk = max(1, _STAGE_CHUNK_BYTES // image_bytes)

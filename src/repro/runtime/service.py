@@ -214,13 +214,25 @@ class ToneMapService:
     arena_slots:
         Depth of the pool's shared-memory arena per size class (see
         :class:`~repro.runtime.arena.ShmArena`).
+    fused:
+        Run batches through the fused band engine
+        (:mod:`repro.runtime.fused`) — single-pass tiled stages with no
+        full-frame intermediates — instead of the staged stack path.
+        Applies to the in-process mapper and to sharded workers alike.
+        Float-only: incompatible with ``fixed_config``/``blur_fn``.
+    fused_threads:
+        Fused worker threads per mapper; ``None`` reads
+        ``REPRO_FUSED_THREADS``, else CPU count for the in-process
+        mapper — but **1 per worker process** when sharded (the shard
+        pool already claims one core per worker; see
+        :class:`~repro.runtime.shard.ShardPool`).
 
     Use as a context manager or call :meth:`close` when done.
     """
 
     def __init__(
         self,
-        params: ToneMapParams = ToneMapParams(),
+        params: Optional[ToneMapParams] = None,
         max_workers: Optional[int] = None,
         batch_size: int = 8,
         shards: Optional[int] = None,
@@ -229,12 +241,19 @@ class ToneMapService:
         max_shards: Optional[int] = None,
         autoscale_policy: Optional[AutoscalePolicy] = None,
         arena_slots: int = 4,
+        fused: bool = False,
+        fused_threads: Optional[int] = None,
     ):
+        params = params if params is not None else ToneMapParams()
         if batch_size < 1:
             raise ToneMapError(f"batch_size must be >= 1, got {batch_size}")
         if fixed_config is not None and params.blur_fn is not None:
             raise ToneMapError(
                 "pass either params.blur_fn or fixed_config, not both"
+            )
+        if fused and fixed_config is not None:
+            raise ToneMapError(
+                "the fused engine is float-only; drop fused or fixed_config"
             )
         if autoscale and shards is None:
             shards = 1
@@ -251,13 +270,17 @@ class ToneMapService:
                 max_shards=max_shards,
                 policy=autoscale_policy,
                 arena_slots=arena_slots,
+                fused=fused,
+                fused_threads=fused_threads,
             )
         local_params = params
         if fixed_config is not None:
             local_params = replace(
                 params, blur_fn=make_fixed_blur_fn(fixed_config)
             )
-        self._mapper = BatchToneMapper(local_params)
+        self._mapper = BatchToneMapper(
+            local_params, fused=fused, threads=fused_threads
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="tonemap"
         )
@@ -542,6 +565,7 @@ class ToneMapService:
     def close(self) -> None:
         """Shut the pools down, waiting for queued work."""
         self._executor.shutdown(wait=True)
+        self._mapper.close()
         if self._pool is not None:
             self._pool.close()
 

@@ -113,13 +113,16 @@ _SHM_HAS_TRACK = "track" in inspect.signature(
 
 
 def _init_worker(
-    params: ToneMapParams, fixed_config: Optional[FixedBlurConfig]
+    params: ToneMapParams,
+    fixed_config: Optional[FixedBlurConfig],
+    fused: bool = False,
+    threads: Optional[int] = None,
 ) -> None:
     """Build this worker's mapper once; subsequent slabs reuse its caches."""
     global _WORKER_MAPPER
     if fixed_config is not None:
         params = replace(params, blur_fn=make_fixed_blur_fn(fixed_config))
-    _WORKER_MAPPER = BatchToneMapper(params)
+    _WORKER_MAPPER = BatchToneMapper(params, fused=fused, threads=threads)
     if fixed_config is not None:
         # Quantize the coefficient ROM now so the first slab pays nothing.
         fixed_config.quantized_coefficients(_WORKER_MAPPER.kernel)
@@ -354,13 +357,23 @@ class ShardPool:
         of owning one (the owner closes it).
     arena_slots:
         Ring/pool depth per size class for an owned arena.
+    fused:
+        Workers run their slabs through the fused band engine
+        (:mod:`repro.runtime.fused`) instead of the staged stack path.
+        Float-only — incompatible with ``fixed_config``.
+    fused_threads:
+        Fused worker threads *per worker process*; defaults to **1** —
+        the pool's parallelism model is one core per shard, so letting
+        each of N workers spawn ``os.cpu_count()`` compute threads (the
+        in-process default) would oversubscribe the host N-fold.  Raise
+        it only when ``shards * fused_threads`` fits the core budget.
 
     Use as a context manager or call :meth:`close` when done.
     """
 
     def __init__(
         self,
-        params: ToneMapParams = ToneMapParams(),
+        params: Optional[ToneMapParams] = None,
         shards: int = 2,
         fixed_config: Optional[FixedBlurConfig] = None,
         start_method: Optional[str] = None,
@@ -369,7 +382,10 @@ class ShardPool:
         policy: Optional[AutoscalePolicy] = None,
         arena: Optional[ShmArena] = None,
         arena_slots: int = 4,
+        fused: bool = False,
+        fused_threads: Optional[int] = None,
     ):
+        params = params if params is not None else ToneMapParams()
         if shards < 1:
             raise ToneMapError(f"shards must be >= 1, got {shards}")
         if params.blur_fn is not None:
@@ -377,6 +393,15 @@ class ShardPool:
                 "blur_fn closures cannot cross the process boundary; pass "
                 "fixed_config=FixedBlurConfig(...) and let workers rebuild it"
             )
+        if fused and fixed_config is not None:
+            raise ToneMapError(
+                "the fused engine is float-only; drop fused or fixed_config"
+            )
+        if fused and fused_threads is None:
+            # One fused thread per worker process: the pool already
+            # claims one core per shard, so the in-process default
+            # (cpu_count) would oversubscribe shards-fold.
+            fused_threads = 1
         if start_method is None:
             # fork only on Linux: macOS lists it but CPython switched its
             # default to spawn because forking after BLAS/framework
@@ -390,6 +415,8 @@ class ShardPool:
         self.shards = shards
         self.params = params
         self.fixed_config = fixed_config
+        self.fused = fused
+        self.fused_threads = fused_threads
         if autoscale:
             if max_shards is None:
                 max_shards = max(shards, os.cpu_count() or shards)
@@ -452,7 +479,12 @@ class ShardPool:
             max_workers=self._workers,
             mp_context=self._mp_context,
             initializer=_init_worker,
-            initargs=(self.params, self.fixed_config),
+            initargs=(
+                self.params,
+                self.fixed_config,
+                self.fused,
+                self.fused_threads,
+            ),
         )
         for future in [
             executor.submit(_worker_ready) for _ in range(self._workers)

@@ -68,15 +68,38 @@ bit-identical floats matters.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ToneMapError
 
+
+def _env_positive_int(name: str, default: int) -> int:
+    """An env-var override for a dispatch constant (must be a positive int).
+
+    The constants below were tuned on the reference host; other BLAS/FFT
+    builds can re-tune them without editing code — run
+    ``tools/calibrate_crossover.py`` and export the variables it prints.
+    A malformed or non-positive value falls back to the default rather
+    than poisoning every import.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 #: Kernel width (taps) at which ``method="auto"`` switches the row
 #: convolution from the folded sliding-window path to the FFT path.
-FFT_CROSSOVER_TAPS = 25
+#: Override with ``REPRO_FFT_CROSSOVER_TAPS`` (see
+#: ``tools/calibrate_crossover.py``).
+FFT_CROSSOVER_TAPS = _env_positive_int("REPRO_FFT_CROSSOVER_TAPS", 25)
 
 #: Plane size (bytes of float64 data) at which ``method="auto"`` switches
 #: narrow-kernel convolution from ``folded`` to the cache-blocked
@@ -85,7 +108,11 @@ FFT_CROSSOVER_TAPS = 25
 #: blocking only adds loop overhead; from it upward the tiled path wins
 #: by the memory-traffic ratio (measured 1.4-1.55x at 1024²-3072²,
 #: sigma 4, on the reference host — see ``benchmarks/bench_blur.py``).
-TILED_MIN_PLANE_BYTES = 1 << 23
+#: Override with ``REPRO_TILED_MIN_PLANE_BYTES`` (see
+#: ``tools/calibrate_crossover.py``).
+TILED_MIN_PLANE_BYTES = _env_positive_int(
+    "REPRO_TILED_MIN_PLANE_BYTES", 1 << 23
+)
 
 #: Byte budget for one tiled row block: the padded block plus the folded
 #: pass's two block-sized temporaries must stay cache-resident across all
@@ -168,18 +195,27 @@ def _convolve_direct(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
     return out
 
 
-def _convolve_folded(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
-    """Symmetry-folded path: mirrored taps are summed before multiplying.
+def fold_rows_into(
+    padded: np.ndarray,
+    coefficients: np.ndarray,
+    out: np.ndarray,
+    pair: np.ndarray,
+) -> np.ndarray:
+    """The folded convolution arithmetic on pre-padded rows, allocation-free.
 
-    Requires a symmetric kernel (every :class:`GaussianKernel` is); halves
-    the number of full-plane multiply passes relative to ``direct``.
+    ``padded`` carries ``radius`` edge-replicated columns on each side of
+    the data; ``out`` and ``pair`` are caller-owned scratch of the output
+    shape.  This is the single definition of the folded multiply-add
+    sequence: :func:`_convolve_folded` wraps it with freshly allocated
+    buffers, and the fused engine (:mod:`repro.runtime.fused`) calls it
+    directly on reusable band scratch — so the two paths stay
+    bit-identical by construction, not by test luck.
     """
-    taps = coefficients.size
-    radius = (taps - 1) // 2
-    padded = _pad_last(arr, radius)
-    width = arr.shape[-1]
-    out = coefficients[radius] * padded[..., radius : radius + width]
-    pair = np.empty_like(out)
+    radius = (coefficients.size - 1) // 2
+    width = out.shape[-1]
+    np.multiply(
+        coefficients[radius], padded[..., radius : radius + width], out=out
+    )
     for k in range(radius):
         mirror = 2 * radius - k
         np.add(
@@ -190,6 +226,19 @@ def _convolve_folded(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
         pair *= coefficients[k]
         out += pair
     return out
+
+
+def _convolve_folded(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Symmetry-folded path: mirrored taps are summed before multiplying.
+
+    Requires a symmetric kernel (every :class:`GaussianKernel` is); halves
+    the number of full-plane multiply passes relative to ``direct``.
+    """
+    radius = (coefficients.size - 1) // 2
+    padded = _pad_last(arr, radius)
+    out = np.empty(arr.shape, dtype=np.float64)
+    pair = np.empty_like(out)
+    return fold_rows_into(padded, coefficients, out, pair)
 
 
 def _convolve_fft(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:

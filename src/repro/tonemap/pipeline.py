@@ -97,11 +97,19 @@ class ToneMapResult:
 
 
 class ToneMapper:
-    """Runs the four-stage local tone-mapping pipeline on HDR images."""
+    """Runs the four-stage local tone-mapping pipeline on HDR images.
 
-    def __init__(self, params: ToneMapParams = ToneMapParams()):
-        self.params = params
-        self._kernel = params.kernel()
+    ``params=None`` constructs a fresh default parameter set per mapper —
+    a ``ToneMapParams()`` default *argument* would be evaluated once at
+    class definition and shared by every default-constructed mapper (it
+    is frozen, but its ``field(default_factory=...)`` members need not
+    stay so under refactoring; sharing one module-level instance across
+    all mappers is exactly the bug class the factory avoids).
+    """
+
+    def __init__(self, params: Optional[ToneMapParams] = None):
+        self.params = params if params is not None else ToneMapParams()
+        self._kernel = self.params.kernel()
 
     @property
     def kernel(self) -> GaussianKernel:
@@ -140,6 +148,8 @@ class ToneMapper:
         )
 
 
-def tone_map(image: HDRImage, params: ToneMapParams = ToneMapParams()) -> HDRImage:
+def tone_map(
+    image: HDRImage, params: Optional[ToneMapParams] = None
+) -> HDRImage:
     """One-call convenience API: tone-map *image* and return the output."""
     return ToneMapper(params).run(image).output

@@ -1,0 +1,121 @@
+"""Tests for tools/calibrate_crossover.py and the env-var dispatch
+overrides it targets (``REPRO_FFT_CROSSOVER_TAPS`` /
+``REPRO_TILED_MIN_PLANE_BYTES``)."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tonemap.gaussian import _env_positive_int
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "calibrate_crossover.py"
+REPO_ROOT = TOOL.parent.parent
+
+spec = importlib.util.spec_from_file_location("calibrate_crossover", TOOL)
+calibrate = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("calibrate_crossover", calibrate)
+spec.loader.exec_module(calibrate)
+
+
+class TestStableCrossover:
+    def rows(self, *pairs):
+        return [
+            {"key": i, "incumbent_s": inc, "challenger_s": ch}
+            for i, (inc, ch) in enumerate(pairs)
+        ]
+
+    def test_first_stable_win_is_picked(self):
+        rows = self.rows((1.0, 2.0), (1.0, 0.9), (1.0, 0.5))
+        assert calibrate._stable_crossover(rows, "key") == 1
+
+    def test_single_noisy_win_does_not_count(self):
+        rows = self.rows((1.0, 0.9), (1.0, 2.0), (1.0, 0.5))
+        assert calibrate._stable_crossover(rows, "key") == 2
+
+    def test_never_stabilizes_returns_none(self):
+        rows = self.rows((1.0, 2.0), (1.0, 2.0))
+        assert calibrate._stable_crossover(rows, "key") is None
+
+
+class TestSweeps:
+    def test_quick_sweep_emits_recommendations(self, capsys):
+        assert calibrate.main(["--quick", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "export REPRO_FFT_CROSSOVER_TAPS=" in out
+        assert "export REPRO_TILED_MIN_PLANE_BYTES=" in out
+        taps = int(
+            out.split("REPRO_FFT_CROSSOVER_TAPS=")[1].splitlines()[0]
+        )
+        plane = int(
+            out.split("REPRO_TILED_MIN_PLANE_BYTES=")[1].splitlines()[0]
+        )
+        assert taps > 0 and plane > 0
+
+    def test_json_output_is_parseable(self, capsys):
+        import json
+
+        assert calibrate.main(["--quick", "--rounds", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["fft"]["recommended"] > 0
+        assert data["tiled"]["recommended"] > 0
+        assert all("taps" in row for row in data["fft"]["rows"])
+
+
+class TestEnvOverrides:
+    def test_env_positive_int_parsing(self, monkeypatch):
+        monkeypatch.delenv("X_TEST_CONST", raising=False)
+        assert _env_positive_int("X_TEST_CONST", 7) == 7
+        monkeypatch.setenv("X_TEST_CONST", "12")
+        assert _env_positive_int("X_TEST_CONST", 7) == 12
+        for bad in ("0", "-3", "abc", ""):
+            monkeypatch.setenv("X_TEST_CONST", bad)
+            assert _env_positive_int("X_TEST_CONST", 7) == 7
+
+    @pytest.mark.parametrize(
+        "env,expr,want",
+        [
+            (
+                {"REPRO_FFT_CROSSOVER_TAPS": "9"},
+                "gaussian.FFT_CROSSOVER_TAPS",
+                "9",
+            ),
+            (
+                {"REPRO_TILED_MIN_PLANE_BYTES": "123"},
+                "gaussian.TILED_MIN_PLANE_BYTES",
+                "123",
+            ),
+        ],
+    )
+    def test_dispatch_constants_honor_env_at_import(self, env, expr, want):
+        # The constants are read at import, so the override must be
+        # checked in a fresh interpreter.
+        code = f"from repro.tonemap import gaussian; print({expr})"
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                **env,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == want
+
+    def test_override_moves_the_auto_dispatch(self, monkeypatch):
+        # _select_method reads the module constants, so an in-process
+        # constant override moves the dispatch the same way the env
+        # override does at import.
+        from repro.tonemap import gaussian
+
+        monkeypatch.setattr(gaussian, "FFT_CROSSOVER_TAPS", 5)
+        assert gaussian._select_method("auto", 5, 0) == "fft"
+        monkeypatch.setattr(gaussian, "FFT_CROSSOVER_TAPS", 99)
+        monkeypatch.setattr(gaussian, "TILED_MIN_PLANE_BYTES", 10)
+        assert gaussian._select_method("auto", 5, 10) == "tiled"
+        assert gaussian._select_method("auto", 5, 9) == "folded"

@@ -168,6 +168,11 @@ class TestCommittedBaseline:
         assert (
             "test_shard_zero_copy_data_plane::shm_allocs_per_batch" in strict
         )
+        # Likewise the PR 5 fused-dataflow acceptance bar: the zero
+        # stage-temporaries counter is machine-independent and must
+        # stay strict.
+        assert "test_fused_vs_staged_1024::intermediate_bytes" in strict
+        assert "test_fused_threads_1024::intermediate_bytes" in strict
 
     def test_tracks_the_emitted_data_plane_metrics(self):
         # Guards the gate's wiring from the tier-1 suite (benchmark-side
@@ -185,6 +190,10 @@ class TestCommittedBaseline:
             "test_shard_legacy_cycle_data_plane::frames_per_sec",
             "test_huge_plane_narrow_kernel[tiled]::pixels_per_sec",
             "test_two_tenant_contention_small::light_p95_x_solo",
+            "test_fused_vs_staged_1024::intermediate_bytes",
+            "test_fused_vs_staged_1024::speedup_vs_staged",
+            "test_fused_vs_staged_1024::pixels_per_sec",
+            "test_fused_threads_1024::intermediate_bytes",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"

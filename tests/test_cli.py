@@ -100,6 +100,20 @@ class TestParser:
         assert args.per_tenant_queue_limit == 8
         assert args.lease_results is True
 
+    def test_batch_fused_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.fused is False
+        assert args.threads is None
+        assert args.sigma is None
+
+    def test_batch_fused_options(self):
+        args = build_parser().parse_args(
+            ["batch", "--fused", "--threads", "4", "--sigma", "2.5"]
+        )
+        assert args.fused is True
+        assert args.threads == 4
+        assert args.sigma == 2.5
+
     def test_tenant_weight_spec_parsing(self):
         from repro.cli import _parse_tenant_weights
 
@@ -181,6 +195,58 @@ class TestMain:
         assert main(["--size", "32", "batch", "--count", "2", "--fixed"]) == 0
         out = capsys.readouterr().out
         assert "fixed-point 16-bit" in out
+
+    def test_batch_fused(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "3", "--batch-size", "2",
+             "--fused", "--threads", "2", "--sigma", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fused band dataflow (2 threads)" in captured.out
+        # narrow kernel: no wide-kernel regime note
+        assert "staged full-plane FFT" not in captured.err
+
+    def test_batch_fused_wide_kernel_notes_regime(self, capsys):
+        # Default sigma 16 is the staged FFT's home turf; --fused must
+        # say so instead of silently running the slow regime.
+        assert main(
+            ["--size", "32", "batch", "--count", "2", "--fused"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fused band dataflow" in captured.out
+        assert "--sigma 2" in captured.err
+
+    def test_batch_sigma_applies_without_fused(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "2", "--sigma", "3"]
+        ) == 0
+        assert "BATCH TONE-MAPPING" in capsys.readouterr().out
+
+    def test_batch_fused_sharded_streaming(self, capsys):
+        assert main(
+            ["--size", "32", "batch", "--count", "4", "--batch-size", "2",
+             "--fused", "--shards", "2", "--max-delay-ms", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fused band dataflow (auto threads)" in out
+        assert "streaming (ingestor)" in out
+
+    def test_batch_fused_rejects_fixed(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "32", "batch", "--count", "2",
+                  "--fused", "--fixed"])
+
+    def test_batch_threads_require_fused(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "32", "batch", "--count", "2",
+                  "--threads", "2"])
+
+    def test_batch_nonpositive_threads_rejected_cleanly(self):
+        # A usage error, not a ToneMapError traceback — and before any
+        # image generation.
+        with pytest.raises(SystemExit):
+            main(["--size", "32", "batch", "--count", "2",
+                  "--fused", "--threads", "0"])
 
     def test_batch_multi_tenant_lease_results(self, capsys):
         assert main(
