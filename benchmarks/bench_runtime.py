@@ -470,6 +470,62 @@ def test_fused_threads_1024(benchmark):
         })
 
 
+def test_planner_dispatch_1024(benchmark):
+    """Planner-dispatched execution vs the hand-picked PR 5 path.
+
+    The PR 7 acceptance case: planning the narrow-kernel 1024² workload
+    must land on the same engine/blur path PR 5 hand-tuned
+    (``fused``/folded window) and execute it at the same throughput —
+    ``planner_matches_manual`` is 1.0 only when every planned decision
+    equals the manual configuration's, and it is gated strictly
+    (machine-independent); ``speedup_vs_manual`` is wall-clock and
+    should sit at ~1.0 (same code path, planner overhead amortized to
+    one plan per workload).
+    """
+    from repro.planner import plan_for
+
+    stack = _fused_stack()
+    plan = plan_for(
+        height=FUSED_SIZE,
+        width=FUSED_SIZE,
+        batch=FUSED_FRAMES,
+        sigma=FUSED_PARAMS.sigma,
+        threads=1,
+    )
+    # The manual PR 5 configuration is fused=True with the folded
+    # horizontal window; plan.blur_method describes the *staged
+    # reference* path (tiled here — the 1024² plane sits exactly at
+    # tiled_min_plane_bytes), so it is not part of the match.
+    matches = float(
+        plan.engine == "fused" and plan.fused_h_method == "folded"
+    )
+    assert matches == 1.0, (
+        f"planner diverged from the hand-tuned path: {plan.decision()}"
+    )
+    out = np.empty(stack.shape, dtype=np.float32)
+    manual = BatchToneMapper(FUSED_PARAMS, fused=True, threads=1)
+    planned = BatchToneMapper(FUSED_PARAMS, plan=plan)
+    assert planned.fused
+    planned.run_stack(stack, out=out)  # warm scratch
+    benchmark.pedantic(
+        lambda: planned.run_stack(stack, out=out),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    # Same dispatch decisions => bit-identical execution.
+    want = np.empty(stack.shape, dtype=np.float32)
+    manual.run_stack(stack, out=want)
+    np.testing.assert_array_equal(out, want)
+    if benchmark.stats is not None:  # skip discarded timings in quick mode
+        manual_s, planned_s = _best_interleaved(
+            lambda: manual.run_stack(stack, out=want),
+            lambda: planned.run_stack(stack, out=out),
+        )
+        _record_fused(benchmark, planned, {
+            "planner_matches_manual": matches,
+            "speedup_vs_manual": manual_s / planned_s,
+        })
+
+
 def test_fused_outputs_exact():
     """Fused vs staged bit-identity on the folded path, sharded too.
 

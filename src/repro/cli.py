@@ -9,6 +9,8 @@ Subcommands map one-to-one to the paper's artifacts::
     repro-experiments report NAME         # HLS report of one variant
     repro-experiments all [-o DIR]        # everything
     repro-experiments batch [...]         # batched tone-mapping throughput
+    repro-experiments planner explain     # plan + rationale for a workload
+    repro-experiments planner calibrate   # measure this host's crossovers
 
 ``--size`` shrinks the Fig. 5 image for quick runs (timing experiments
 are analytic and unaffected).
@@ -27,8 +29,15 @@ the images through the :class:`repro.runtime.ToneMapIngestor` front-end
 arena when sharded) instead of submitting them as one pre-grouped
 workload; ``--fused`` (with ``--threads N``) runs batches through the
 fused band engine — single-pass tiled stages with no full-frame
-intermediates (:mod:`repro.runtime.fused`).  See
-``docs/architecture.md`` for the full data path.
+intermediates (:mod:`repro.runtime.fused`); ``--plan auto`` lets the
+execution planner (:mod:`repro.planner`) pick the engine and blur path
+from the workload and the host calibration instead (``--plan FILE``
+replays a saved plan).  ``planner explain`` prints the plan and its
+cost rationale for a described workload without running anything;
+``planner calibrate`` measures this host's dispatch crossovers and can
+write them as a profile (``-o host.json``, activated via
+``REPRO_PLANNER_PROFILE``).  See ``docs/architecture.md`` for the full
+data path.
 """
 
 from __future__ import annotations
@@ -189,8 +198,73 @@ def build_parser() -> argparse.ArgumentParser:
              "copies; requires --shards and the streaming path",
     )
     batch.add_argument(
+        "--plan", default=None, metavar="auto|FILE",
+        help="dispatch through the execution planner: 'auto' plans from "
+             "the workload and the active calibration profile; a file "
+             "path replays a plan saved by 'planner explain --json'",
+    )
+    batch.add_argument(
         "-o", "--output-dir", type=Path, default=None,
         help="write tone-mapped outputs here as .ppm",
+    )
+
+    planner = sub.add_parser(
+        "planner",
+        help="execution planner: explain plans, calibrate this host",
+    )
+    psub = planner.add_subparsers(dest="planner_command", required=True)
+    explain = psub.add_parser(
+        "explain",
+        help="print the plan (and cost rationale) for a workload",
+    )
+    explain.add_argument("--height", type=int, default=1024)
+    explain.add_argument("--width", type=int, default=1024)
+    explain.add_argument("--batch", type=int, default=1)
+    explain.add_argument("--sigma", type=float, default=16.0)
+    explain.add_argument(
+        "--radius", type=int, default=None,
+        help="kernel radius (default: ceil(3*sigma))",
+    )
+    explain.add_argument(
+        "--dtype", choices=("float32", "float64", "fixed"),
+        default="float32",
+    )
+    explain.add_argument("--color", action="store_true")
+    explain.add_argument("--threads", type=int, default=None)
+    explain.add_argument(
+        "--profile", type=Path, default=None,
+        help="calibration profile JSON (default: the active profile — "
+             "REPRO_PLANNER_PROFILE / env overrides / built-ins)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as JSON (replayable via 'batch --plan FILE')",
+    )
+    calibrate = psub.add_parser(
+        "calibrate",
+        help="measure this host's dispatch crossovers and write a "
+             "calibration profile",
+    )
+    calibrate.add_argument(
+        "--size", type=int, default=768, dest="cal_size",
+        help="plane edge for the FFT-crossover sweep (default 768)",
+    )
+    calibrate.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds per point, best-of (default 3)",
+    )
+    calibrate.add_argument(
+        "--quick", action="store_true",
+        help="tiny grids for smoke runs (CI); not a real calibration",
+    )
+    calibrate.add_argument(
+        "--json", action="store_true",
+        help="emit the full sweep as JSON instead of the report",
+    )
+    calibrate.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the calibration profile JSON here (activate via "
+             "REPRO_PLANNER_PROFILE)",
     )
     return parser
 
@@ -262,8 +336,8 @@ def run_batch(args) -> None:
             "--fused is float-only (the fused engine is the blur); "
             "drop --fused or --fixed"
         )
-    if args.threads is not None and not args.fused:
-        raise SystemExit("--threads requires --fused")
+    if args.threads is not None and not (args.fused or args.plan):
+        raise SystemExit("--threads requires --fused or --plan")
     if args.threads is not None and args.threads < 1:
         raise SystemExit(f"--threads must be >= 1, got {args.threads}")
     params = (
@@ -271,9 +345,9 @@ def run_batch(args) -> None:
         else ToneMapParams(sigma=args.sigma)
     )
     if args.fused:
-        from repro.runtime.fused import FUSED_FFT_MIN_TAPS
+        from repro.planner.profile import active_profile
 
-        if params.kernel().taps >= FUSED_FFT_MIN_TAPS:
+        if params.kernel().taps >= active_profile().fused_fft_min_taps:
             print(
                 f"note: sigma {params.sigma:g} gives a "
                 f"{params.kernel().taps}-tap kernel — the staged "
@@ -282,6 +356,33 @@ def run_batch(args) -> None:
                 file=sys.stderr,
             )
     images = _batch_images(args)
+    plan = None
+    if args.plan is not None:
+        import json
+
+        from repro.planner.plan import ExecutionPlan, plan_for
+
+        if args.plan == "auto":
+            sample = images[0].pixels
+            plan = plan_for(
+                height=int(sample.shape[0]),
+                width=int(sample.shape[1]),
+                batch=min(len(images), args.batch_size),
+                sigma=params.sigma,
+                dtype="fixed" if args.fixed else "float32",
+                color=sample.ndim == 3,
+                threads=args.threads,
+            )
+        else:
+            plan = ExecutionPlan.from_json_dict(
+                json.loads(Path(args.plan).read_text())
+            )
+        print(
+            f"planner: engine={plan.engine} blur={plan.blur_method} "
+            f"fused_h={plan.fused_h_method} threads={plan.threads} "
+            f"(profile: {plan.profile.source})",
+            file=sys.stderr,
+        )
     fixed_config = FixedBlurConfig() if args.fixed else None
     tenants = (
         _parse_tenant_weights(args.tenant_weights)
@@ -349,6 +450,7 @@ def run_batch(args) -> None:
         arena_slots=4 if args.arena_slots is None else args.arena_slots,
         fused=args.fused,
         fused_threads=args.threads,
+        plan=plan,
     ) as service:
         if streaming:
             tenant_names = sorted(tenants) if tenants else None
@@ -407,6 +509,10 @@ def run_batch(args) -> None:
     print(f"  images        : {stats.images}")
     print(f"  pixels        : {stats.pixels}")
     print(f"  blur          : {blur_name}")
+    if plan is not None:
+        print(f"  plan          : engine={plan.engine} "
+              f"blur={plan.blur_method} fused_h={plan.fused_h_method} "
+              f"(profile: {plan.profile.source})")
     if args.fused:
         threads = args.threads if args.threads is not None else "auto"
         print(f"  engine        : fused band dataflow ({threads} threads)")
@@ -451,8 +557,52 @@ def run_batch(args) -> None:
         print(f"  outputs written to {args.output_dir}/")
 
 
+def run_planner(args) -> int:
+    """The ``planner`` subcommand: explain a plan or calibrate the host."""
+    if args.planner_command == "calibrate":
+        from repro.planner.calibrate import main as calibrate_main
+
+        argv = ["--size", str(args.cal_size), "--rounds", str(args.rounds)]
+        if args.quick:
+            argv.append("--quick")
+        if args.json:
+            argv.append("--json")
+        if args.output is not None:
+            argv += ["-o", str(args.output)]
+        return calibrate_main(argv)
+
+    import json
+
+    from repro.planner.plan import plan_for
+    from repro.planner.profile import CalibrationProfile
+
+    profile = (
+        CalibrationProfile.load(args.profile)
+        if args.profile is not None
+        else None
+    )
+    plan = plan_for(
+        height=args.height,
+        width=args.width,
+        batch=args.batch,
+        sigma=args.sigma,
+        radius=args.radius,
+        dtype=args.dtype,
+        color=args.color,
+        threads=args.threads,
+        profile=profile,
+    )
+    if args.json:
+        print(json.dumps(plan.to_json_dict(), indent=2))
+    else:
+        print(plan.describe())
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "planner":
+        return run_planner(args)
     flow = make_paper_flow()
 
     if args.command == "table2":

@@ -36,7 +36,10 @@ so it cannot host a custom/fixed-point ``blur_fn``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # import for annotations only — no runtime cycle
+    from repro.planner.plan import ExecutionPlan
 
 import numpy as np
 
@@ -95,6 +98,15 @@ class BatchToneMapper:
     threads:
         Fused worker threads (``None`` = ``REPRO_FUSED_THREADS`` env,
         else CPU count).  Ignored unless ``fused``.
+    plan:
+        An :class:`~repro.planner.plan.ExecutionPlan` from the planner:
+        supplies the engine choice (fused vs staged), thread count, band
+        budget, and the calibration profile the fused dispatch is pinned
+        to.  Explicit ``fused``/``threads`` arguments still win over the
+        plan (a caller pin beats a planner decision); a plan whose
+        engine is ``"fused"`` is ignored when ``params.blur_fn`` is set
+        — the fused engine is float-only, and a plan computed for a
+        float workload must not crash a fixed-point mapper.
     """
 
     def __init__(
@@ -102,16 +114,31 @@ class BatchToneMapper:
         params: Optional[ToneMapParams] = None,
         fused: bool = False,
         threads: Optional[int] = None,
+        plan: Optional["ExecutionPlan"] = None,
     ):
         self.params = params if params is not None else ToneMapParams()
         self._kernel = self.params.kernel()
+        self.execution_plan = plan
+        band_bytes = None
+        profile = None
+        if plan is not None:
+            if not fused:
+                fused = (
+                    plan.engine == "fused" and self.params.blur_fn is None
+                )
+            if threads is None:
+                threads = plan.threads
+            band_bytes = plan.band_bytes
+            profile = plan.profile
         self._plan: Optional[FusedToneMapPlan] = None
         self._engine: Optional[FusedExecutor] = None
         if fused:
             # Raises ToneMapError for custom blur_fn params — the fused
             # engine is the blur, so a silent staged fallback would lie
             # about what executed.
-            self._plan = FusedToneMapPlan(self.params)
+            self._plan = FusedToneMapPlan(
+                self.params, band_bytes=band_bytes, profile=profile
+            )
             self._engine = FusedExecutor(threads=threads)
 
     @property

@@ -57,47 +57,54 @@ import numpy as np
 
 from repro.errors import ToneMapError
 from repro.image.color import LUMA_WEIGHTS
-from repro.tonemap.adjust import adjust_brightness_contrast_into
-from repro.tonemap.gaussian import (
+from repro.planner.profile import (
+    DEFAULT_FUSED_BAND_BYTES,
+    DEFAULT_FUSED_FFT_MIN_TAPS,
+    DEFAULT_FUSED_POOLED_GEOMETRIES,
+    CalibrationProfile,
     _env_positive_int,
-    _select_method,
-    fold_rows_into,
+    active_profile,
+    select_fused_h_method,
 )
+from repro.tonemap.adjust import adjust_brightness_contrast_into
+from repro.tonemap.gaussian import fold_rows_into
 from repro.tonemap.masking import (
     masking_exponent_into,
     nonlinear_masking_into,
 )
 from repro.tonemap.pipeline import ToneMapParams
 
-#: Byte budget for one band's float64 scratch working set.  4 MiB keeps
-#: a band plus its halo ring resident in commodity last-level caches
-#: (the same neighbourhood as the blur module's
-#: :data:`~repro.tonemap.gaussian.TILED_MIN_PLANE_BYTES` crossover)
-#: while leaving bands wide enough to amortize the per-band Python
-#: overhead (measured best of 2-32 MiB at 1024² on the reference host).
-#: Override with ``REPRO_FUSED_BAND_BYTES`` to re-tune.
-FUSED_BAND_BYTES = _env_positive_int("REPRO_FUSED_BAND_BYTES", 1 << 22)
+#: Default byte budget for one band's float64 scratch working set.
+#: 4 MiB keeps a band plus its halo ring resident in commodity
+#: last-level caches (the same neighbourhood as the blur module's
+#: tiled crossover) while leaving bands wide enough to amortize the
+#: per-band Python overhead (measured best of 2-32 MiB at 1024² on the
+#: reference host).  This is the *built-in default* — the live value
+#: comes from :func:`repro.planner.profile.active_profile` at plan
+#: construction, so ``REPRO_FUSED_BAND_BYTES`` (read at call time, not
+#: import time) and calibration profiles re-tune it without a reload.
+FUSED_BAND_BYTES = DEFAULT_FUSED_BAND_BYTES
 
-#: How many distinct scratch geometries (frame shape × radius × band
-#: budget) one executor keeps warm.  Each geometry retains up to
-#: ``threads`` workspaces; beyond the cap the least-recently-used
-#: geometry's scratch is dropped (and re-warmed on return — visible as
-#: an ``intermediate_bytes`` bump), so arbitrarily-shaped traffic
-#: cannot grow resident scratch without bound.  Override with
-#: ``REPRO_FUSED_POOLED_GEOMETRIES``.
-FUSED_POOLED_GEOMETRIES = _env_positive_int(
-    "REPRO_FUSED_POOLED_GEOMETRIES", 8
-)
+#: Default for how many distinct scratch geometries (frame shape ×
+#: radius × band budget) one executor keeps warm.  Each geometry
+#: retains up to ``threads`` workspaces; beyond the cap the
+#: least-recently-used geometry's scratch is dropped (and re-warmed on
+#: return — visible as an ``intermediate_bytes`` bump), so
+#: arbitrarily-shaped traffic cannot grow resident scratch without
+#: bound.  Live value: ``active_profile().fused_pooled_geometries``,
+#: captured per executor (``REPRO_FUSED_POOLED_GEOMETRIES`` overrides).
+FUSED_POOLED_GEOMETRIES = DEFAULT_FUSED_POOLED_GEOMETRIES
 
-#: Kernel width at which the fused *horizontal* pass switches from the
-#: folded sliding window to the per-band FFT.  Deliberately above the
-#: staged path's :data:`~repro.tonemap.gaussian.FFT_CROSSOVER_TAPS`:
-#: a band-sized FFT amortizes its setup over far fewer rows than the
-#: staged full-plane transform, so the folded window stays ahead longer
-#: (taps 25: folded 1.62x vs FFT 1.55x over staged at 1024²; taps 49:
-#: FFT 1.02x vs folded 0.66x).  Override with
-#: ``REPRO_FUSED_FFT_MIN_TAPS``.
-FUSED_FFT_MIN_TAPS = _env_positive_int("REPRO_FUSED_FFT_MIN_TAPS", 33)
+#: Default kernel width at which the fused *horizontal* pass switches
+#: from the folded sliding window to the per-band FFT.  Deliberately
+#: above the staged path's FFT crossover: a band-sized FFT amortizes
+#: its setup over far fewer rows than the staged full-plane transform,
+#: so the folded window stays ahead longer (taps 25: folded 1.62x vs
+#: FFT 1.55x over staged at 1024²; taps 49: FFT 1.02x vs folded 0.66x).
+#: Live value: ``active_profile().fused_fft_min_taps``, consulted per
+#: run through :func:`repro.planner.profile.select_fused_h_method`
+#: (``REPRO_FUSED_FFT_MIN_TAPS`` overrides at call time).
+FUSED_FFT_MIN_TAPS = DEFAULT_FUSED_FFT_MIN_TAPS
 
 
 def _default_threads() -> int:
@@ -106,6 +113,27 @@ def _default_threads() -> int:
     if override > 0:
         return override
     return os.cpu_count() or 1
+
+
+def band_rows_for(
+    height: int, width: int, color: bool, radius: int, band_bytes: int
+) -> int:
+    """Rows per fused band such that the band scratch stays cache-resident.
+
+    The scratch working set is ~7 float64 row buffers for gray plus
+    ~2.5 more per color channel (ring, padded rows, pair, luminance,
+    vertical accumulator, exponent, output band, float32 staging,
+    bool floor mask).  The floor of ``max(8, radius)`` keeps the
+    2·radius-row ring copy between bands amortized over at least a
+    comparable amount of compute.  Single definition shared by
+    :meth:`FusedToneMapPlan.band_rows` and the planner's band-partition
+    reporting.
+    """
+    channels = 3 if color else 1
+    per_row = 8 * width * (6 + 3 * channels) + 8 * (width + 2 * radius)
+    rows = int(band_bytes // per_row)
+    rows = max(rows, 8, radius)
+    return min(rows, height)
 
 
 @dataclass(frozen=True)
@@ -232,13 +260,23 @@ class FusedToneMapPlan:
         fused engine *is* the blur implementation (custom/fixed-point
         blurs take the staged path).
     band_bytes:
-        Scratch budget per band; defaults to :data:`FUSED_BAND_BYTES`.
+        Scratch budget per band; defaults to the active calibration
+        profile's ``fused_band_bytes`` (resolved at construction, so
+        ``REPRO_FUSED_BAND_BYTES`` takes effect without a reload).
+    profile:
+        Calibration profile pinning the horizontal-pass dispatch.  When
+        ``None`` (the default), :meth:`h_method` consults
+        :func:`repro.planner.profile.active_profile` per call; an
+        :class:`~repro.planner.plan.ExecutionPlan` passes its own
+        profile here so a planned decision stays pinned for the plan's
+        lifetime.
     """
 
     def __init__(
         self,
         params: Optional[ToneMapParams] = None,
         band_bytes: Optional[int] = None,
+        profile: Optional[CalibrationProfile] = None,
     ):
         params = params if params is not None else ToneMapParams()
         if params.blur_fn is not None:
@@ -248,9 +286,11 @@ class FusedToneMapPlan:
             )
         self.params = params
         self.kernel = params.kernel()
-        self.band_bytes = (
-            band_bytes if band_bytes is not None else FUSED_BAND_BYTES
-        )
+        self.profile = profile
+        if band_bytes is None:
+            source = profile if profile is not None else active_profile()
+            band_bytes = source.fused_band_bytes
+        self.band_bytes = band_bytes
         # Kernel spectra for the FFT horizontal pass, keyed by transform
         # length.  rfft of the same coefficients at the same length is
         # deterministic, so caching (vs the staged path recomputing per
@@ -272,37 +312,25 @@ class FusedToneMapPlan:
         folded/tiled, this returns ``"folded"`` — the bit-identity
         contract requires it.  In the staged FFT regime (where only the
         1e-9 band is promised anyway) the band engine keeps the folded
-        window up to :data:`FUSED_FFT_MIN_TAPS`, because a band-sized
-        FFT amortizes worse than the staged full-plane transform.
+        window up to the profile's ``fused_fft_min_taps``, because a
+        band-sized FFT amortizes worse than the staged full-plane
+        transform.  Consults the plan's pinned profile when one was
+        given, else the active profile — at call time, like every
+        dispatch decision.
         """
-        resolved = _select_method(
-            "auto", self.kernel.coefficients.size, height * width * 8
-        )
-        if resolved != "fft":
-            return "folded"
-        return (
-            "fft"
-            if self.kernel.coefficients.size >= FUSED_FFT_MIN_TAPS
-            else "folded"
+        return select_fused_h_method(
+            self.kernel.coefficients.size, height * width * 8, self.profile
         )
 
     def band_rows(self, height: int, width: int, color: bool) -> int:
         """Rows per band such that the band scratch stays cache-resident.
 
-        The scratch working set is ~7 float64 row buffers for gray plus
-        ~2.5 more per color channel (ring, padded rows, pair, luminance,
-        vertical accumulator, exponent, output band, float32 staging,
-        bool floor mask).  The floor of ``max(8, radius)`` keeps the
-        2·radius-row ring copy between bands amortized over at least a
-        comparable amount of compute.
+        Delegates to :func:`band_rows_for`, the single definition shared
+        with the planner's :class:`~repro.planner.plan.ExecutionPlan`.
         """
-        channels = 3 if color else 1
-        per_row = 8 * width * (6 + 3 * channels) + 8 * (
-            width + 2 * self.kernel.radius
+        return band_rows_for(
+            height, width, color, self.kernel.radius, self.band_bytes
         )
-        rows = int(self.band_bytes // per_row)
-        rows = max(rows, 8, self.kernel.radius)
-        return min(rows, height)
 
 
 def _process_span(
@@ -524,6 +552,10 @@ class FusedExecutor:
         # :data:`FUSED_POOLED_GEOMETRIES` are evicted LRU-first so
         # unbounded shape diversity cannot grow scratch without bound.
         self._free: "OrderedDict[tuple, List[_Workspace]]" = OrderedDict()
+        # Captured once per executor: the scratch cap is host-memory
+        # calibration, not per-call dispatch, so it rides the profile
+        # active when the pool is built.
+        self._pooled_geometries = active_profile().fused_pooled_geometries
         self._lock = threading.Lock()
         self._runs = 0
         self._frames = 0
@@ -568,7 +600,7 @@ class FusedExecutor:
             # raising and leaking.
             self._free.setdefault(key, []).extend(workspaces)
             self._free.move_to_end(key)
-            while len(self._free) > FUSED_POOLED_GEOMETRIES:
+            while len(self._free) > self._pooled_geometries:
                 _, evicted = self._free.popitem(last=False)  # LRU geometry
                 gone = set(map(id, evicted))
                 # Keep the cumulative-allocation counter monotonic: an

@@ -226,6 +226,13 @@ class ToneMapService:
         mapper — but **1 per worker process** when sharded (the shard
         pool already claims one core per worker; see
         :class:`~repro.runtime.shard.ShardPool`).
+    plan:
+        An :class:`~repro.planner.plan.ExecutionPlan` describing the
+        expected traffic: supplies the engine choice, thread count, band
+        budget, and calibration profile to the in-process mapper and
+        (pickled) to every shard worker, so the whole service replays
+        one recorded set of dispatch decisions.  Explicit
+        ``fused``/``fused_threads`` arguments still win over the plan.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -243,6 +250,7 @@ class ToneMapService:
         arena_slots: int = 4,
         fused: bool = False,
         fused_threads: Optional[int] = None,
+        plan=None,
     ):
         params = params if params is not None else ToneMapParams()
         if batch_size < 1:
@@ -250,6 +258,12 @@ class ToneMapService:
         if fixed_config is not None and params.blur_fn is not None:
             raise ToneMapError(
                 "pass either params.blur_fn or fixed_config, not both"
+            )
+        if plan is not None and not fused:
+            fused = (
+                plan.engine == "fused"
+                and fixed_config is None
+                and params.blur_fn is None
             )
         if fused and fixed_config is not None:
             raise ToneMapError(
@@ -260,6 +274,7 @@ class ToneMapService:
         self.params = params
         self.batch_size = batch_size
         self.shards = shards
+        self.plan = plan
         self._pool: Optional[ShardPool] = None
         if shards is not None:
             self._pool = ShardPool(
@@ -272,6 +287,7 @@ class ToneMapService:
                 arena_slots=arena_slots,
                 fused=fused,
                 fused_threads=fused_threads,
+                plan=plan,
             )
         local_params = params
         if fixed_config is not None:
@@ -279,7 +295,7 @@ class ToneMapService:
                 params, blur_fn=make_fixed_blur_fn(fixed_config)
             )
         self._mapper = BatchToneMapper(
-            local_params, fused=fused, threads=fused_threads
+            local_params, fused=fused, threads=fused_threads, plan=plan
         )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="tonemap"

@@ -117,12 +117,21 @@ def _init_worker(
     fixed_config: Optional[FixedBlurConfig],
     fused: bool = False,
     threads: Optional[int] = None,
+    plan=None,
 ) -> None:
-    """Build this worker's mapper once; subsequent slabs reuse its caches."""
+    """Build this worker's mapper once; subsequent slabs reuse its caches.
+
+    ``plan`` is a pickled :class:`~repro.planner.plan.ExecutionPlan` (or
+    ``None``): shipping the parent's plan means every worker replays the
+    parent's dispatch decisions exactly, whatever env vars the worker
+    process happens to see.
+    """
     global _WORKER_MAPPER
     if fixed_config is not None:
         params = replace(params, blur_fn=make_fixed_blur_fn(fixed_config))
-    _WORKER_MAPPER = BatchToneMapper(params, fused=fused, threads=threads)
+    _WORKER_MAPPER = BatchToneMapper(
+        params, fused=fused, threads=threads, plan=plan
+    )
     if fixed_config is not None:
         # Quantize the coefficient ROM now so the first slab pays nothing.
         fixed_config.quantized_coefficients(_WORKER_MAPPER.kernel)
@@ -367,6 +376,14 @@ class ShardPool:
         each of N workers spawn ``os.cpu_count()`` compute threads (the
         in-process default) would oversubscribe the host N-fold.  Raise
         it only when ``shards * fused_threads`` fits the core budget.
+    plan:
+        An :class:`~repro.planner.plan.ExecutionPlan`; it is pickled to
+        every worker so each one replays the parent's dispatch decisions
+        (engine, band budget, calibration profile) exactly.  Explicit
+        ``fused``/``fused_threads`` arguments still win over the plan.
+        The per-process thread default stays **1** even under a plan —
+        the plan's ``threads`` describes the in-process engine, and N
+        workers × plan-threads would oversubscribe the host.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -384,6 +401,7 @@ class ShardPool:
         arena_slots: int = 4,
         fused: bool = False,
         fused_threads: Optional[int] = None,
+        plan=None,
     ):
         params = params if params is not None else ToneMapParams()
         if shards < 1:
@@ -393,6 +411,8 @@ class ShardPool:
                 "blur_fn closures cannot cross the process boundary; pass "
                 "fixed_config=FixedBlurConfig(...) and let workers rebuild it"
             )
+        if plan is not None and not fused:
+            fused = plan.engine == "fused" and fixed_config is None
         if fused and fixed_config is not None:
             raise ToneMapError(
                 "the fused engine is float-only; drop fused or fixed_config"
@@ -417,6 +437,7 @@ class ShardPool:
         self.fixed_config = fixed_config
         self.fused = fused
         self.fused_threads = fused_threads
+        self.plan = plan
         if autoscale:
             if max_shards is None:
                 max_shards = max(shards, os.cpu_count() or shards)
@@ -484,6 +505,7 @@ class ShardPool:
                 self.fixed_config,
                 self.fused,
                 self.fused_threads,
+                self.plan,
             ),
         )
         for future in [

@@ -42,20 +42,23 @@ FPGA), so the software reference carries three row-convolution strategies:
     it for narrow kernels (wide ones go to the FFT anyway) on planes too
     large to cache.
 
-``method="auto"`` (the default) picks ``fft`` once
-``taps >= FFT_CROSSOVER_TAPS``, otherwise ``tiled`` when the plane is at
-least ``TILED_MIN_PLANE_BYTES`` and ``folded`` below that.  Both
-crossovers are conservative constants chosen from the benchmark suite
-(``benchmarks/bench_blur.py``): the FFT path wins from roughly two dozen
-taps upward on any plane large enough to care about, the tiled path wins
-once the plane's working set spills last-level cache (measured 1.4-1.55x
-at 1024²-3072² for sigma 4 on the reference host;
-``test_tiled_speedup_vs_folded`` records the trajectory), and the
-constants only need to be in the right neighbourhood because every side
-of a crossover is fast.  Pass
-``method=`` explicitly to pin a path (tests and the equivalence suite
-do), or change the module constants before calling to re-tune the
-dispatch.
+``method="auto"`` (the default) picks ``fft`` once the kernel reaches
+the calibrated ``fft_crossover_taps``, otherwise ``tiled`` when the
+plane is at least ``tiled_min_plane_bytes`` and ``folded`` below that.
+Both crossovers live in the planner's calibration profile
+(:func:`repro.planner.profile.active_profile`, resolved on every call):
+the built-in defaults were chosen from the benchmark suite
+(``benchmarks/bench_blur.py``) — the FFT path wins from roughly two
+dozen taps upward on any plane large enough to care about, the tiled
+path wins once the plane's working set spills last-level cache
+(measured 1.4-1.55x at 1024²-3072² for sigma 4 on the reference host;
+``test_tiled_speedup_vs_folded`` records the trajectory) — and the
+values only need to be in the right neighbourhood because every side
+of a crossover is fast.  Pass ``method=`` explicitly to pin a path
+(tests and the equivalence suite do), use
+``repro.planner.profile.override(...)`` to re-pin a crossover for a
+scope, or calibrate a profile with ``repro.planner.calibrate`` for a
+different host.
 
 **Tolerance contract:** every fast path agrees with ``direct`` to an
 absolute tolerance of 1e-9 on unit-range planes (enforced by
@@ -68,51 +71,47 @@ bit-identical floats matters.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ToneMapError
 
-
-def _env_positive_int(name: str, default: int) -> int:
-    """An env-var override for a dispatch constant (must be a positive int).
-
-    The constants below were tuned on the reference host; other BLAS/FFT
-    builds can re-tune them without editing code — run
-    ``tools/calibrate_crossover.py`` and export the variables it prints.
-    A malformed or non-positive value falls back to the default rather
-    than poisoning every import.
-    """
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        return default
-    return value if value > 0 else default
-
-
-#: Kernel width (taps) at which ``method="auto"`` switches the row
-#: convolution from the folded sliding-window path to the FFT path.
-#: Override with ``REPRO_FFT_CROSSOVER_TAPS`` (see
-#: ``tools/calibrate_crossover.py``).
-FFT_CROSSOVER_TAPS = _env_positive_int("REPRO_FFT_CROSSOVER_TAPS", 25)
-
-#: Plane size (bytes of float64 data) at which ``method="auto"`` switches
-#: narrow-kernel convolution from ``folded`` to the cache-blocked
-#: ``tiled`` path.  8 MiB ~ the working set leaving last-level cache on
-#: commodity parts: below it the folded temporaries stay cached and
-#: blocking only adds loop overhead; from it upward the tiled path wins
-#: by the memory-traffic ratio (measured 1.4-1.55x at 1024²-3072²,
-#: sigma 4, on the reference host — see ``benchmarks/bench_blur.py``).
-#: Override with ``REPRO_TILED_MIN_PLANE_BYTES`` (see
-#: ``tools/calibrate_crossover.py``).
-TILED_MIN_PLANE_BYTES = _env_positive_int(
-    "REPRO_TILED_MIN_PLANE_BYTES", 1 << 23
+# Dispatch thresholds live in the planner's calibration profile now
+# (single source of truth, resolved at *call* time so env overrides and
+# per-case pins work without importlib.reload).  ``_env_positive_int``
+# is re-exported for back-compat — callers historically imported it
+# from here.
+from repro.planner.profile import (
+    DEFAULT_FFT_CROSSOVER_TAPS,
+    DEFAULT_TILED_MIN_PLANE_BYTES,
+    CalibrationProfile,
+    _env_positive_int,  # noqa: F401  (re-export)
+    select_blur_method,
 )
+
+#: Default kernel width (taps) at which ``method="auto"`` switches the
+#: row convolution from the folded sliding-window path to the FFT path.
+#: This module constant is the *built-in default* for reference and
+#: back-compat reading; the live dispatch value comes from
+#: :func:`repro.planner.profile.active_profile` on every call, so
+#: ``REPRO_FFT_CROSSOVER_TAPS`` (or a calibration profile, or
+#: ``repro.planner.profile.override``) re-tunes it without a reload —
+#: see ``repro.planner.calibrate``.
+FFT_CROSSOVER_TAPS = DEFAULT_FFT_CROSSOVER_TAPS
+
+#: Default plane size (bytes of float64 data) at which ``method="auto"``
+#: switches narrow-kernel convolution from ``folded`` to the
+#: cache-blocked ``tiled`` path.  8 MiB ~ the working set leaving
+#: last-level cache on commodity parts: below it the folded temporaries
+#: stay cached and blocking only adds loop overhead; from it upward the
+#: tiled path wins by the memory-traffic ratio (measured 1.4-1.55x at
+#: 1024²-3072², sigma 4, on the reference host — see
+#: ``benchmarks/bench_blur.py``).  Live value: the active calibration
+#: profile's ``tiled_min_plane_bytes`` (``REPRO_TILED_MIN_PLANE_BYTES``
+#: overrides at call time).
+TILED_MIN_PLANE_BYTES = DEFAULT_TILED_MIN_PLANE_BYTES
 
 #: Byte budget for one tiled row block: the padded block plus the folded
 #: pass's two block-sized temporaries must stay cache-resident across all
@@ -288,17 +287,26 @@ def _convolve_tiled(arr: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
     return out
 
 
-def _select_method(method: str, taps: int, nbytes: int = 0) -> str:
-    """Resolve ``"auto"`` against the crossovers; validate the name."""
+def _select_method(
+    method: str,
+    taps: int,
+    nbytes: int = 0,
+    profile: Optional[CalibrationProfile] = None,
+) -> str:
+    """Resolve ``"auto"`` against the calibrated crossovers; validate.
+
+    The crossovers come from the planner's *active* calibration profile
+    (resolved per call — env overrides, profile files, and
+    ``repro.planner.profile.override`` all take effect immediately), or
+    from an explicitly pinned ``profile``.
+    """
     if method not in BLUR_METHODS:
         raise ToneMapError(
             f"unknown blur method {method!r}; expected one of {BLUR_METHODS}"
         )
     if method != "auto":
         return method
-    if taps >= FFT_CROSSOVER_TAPS:
-        return "fft"
-    return "tiled" if nbytes >= TILED_MIN_PLANE_BYTES else "folded"
+    return select_blur_method(taps, nbytes, profile)
 
 
 _CONVOLVERS = {

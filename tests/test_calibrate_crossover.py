@@ -3,7 +3,6 @@ overrides it targets (``REPRO_FFT_CROSSOVER_TAPS`` /
 ``REPRO_TILED_MIN_PLANE_BYTES``)."""
 
 import importlib.util
-import subprocess
 import sys
 from pathlib import Path
 
@@ -12,7 +11,6 @@ import pytest
 from repro.tonemap.gaussian import _env_positive_int
 
 TOOL = Path(__file__).resolve().parent.parent / "tools" / "calibrate_crossover.py"
-REPO_ROOT = TOOL.parent.parent
 
 spec = importlib.util.spec_from_file_location("calibrate_crossover", TOOL)
 calibrate = importlib.util.module_from_spec(spec)
@@ -75,47 +73,49 @@ class TestEnvOverrides:
             assert _env_positive_int("X_TEST_CONST", 7) == 7
 
     @pytest.mark.parametrize(
-        "env,expr,want",
+        "env,taps,nbytes,want",
         [
-            (
-                {"REPRO_FFT_CROSSOVER_TAPS": "9"},
-                "gaussian.FFT_CROSSOVER_TAPS",
-                "9",
-            ),
-            (
-                {"REPRO_TILED_MIN_PLANE_BYTES": "123"},
-                "gaussian.TILED_MIN_PLANE_BYTES",
-                "123",
-            ),
+            ({"REPRO_FFT_CROSSOVER_TAPS": "5"}, 5, 0, "fft"),
+            ({"REPRO_TILED_MIN_PLANE_BYTES": "10"}, 5, 10, "tiled"),
         ],
     )
-    def test_dispatch_constants_honor_env_at_import(self, env, expr, want):
-        # The constants are read at import, so the override must be
-        # checked in a fresh interpreter.
-        code = f"from repro.tonemap import gaussian; print({expr})"
-        result = subprocess.run(
-            [sys.executable, "-c", code],
-            capture_output=True,
-            text=True,
-            cwd=REPO_ROOT,
-            env={
-                **env,
-                "PYTHONPATH": str(REPO_ROOT / "src"),
-                "PATH": "/usr/bin:/bin",
-            },
-        )
-        assert result.returncode == 0, result.stderr
-        assert result.stdout.strip() == want
-
-    def test_override_moves_the_auto_dispatch(self, monkeypatch):
-        # _select_method reads the module constants, so an in-process
-        # constant override moves the dispatch the same way the env
-        # override does at import.
+    def test_dispatch_honors_env_at_call_time(
+        self, monkeypatch, env, taps, nbytes, want
+    ):
+        # The thresholds are resolved per call, so setting the env var
+        # after import moves the dispatch — no importlib.reload needed.
         from repro.tonemap import gaussian
 
-        monkeypatch.setattr(gaussian, "FFT_CROSSOVER_TAPS", 5)
-        assert gaussian._select_method("auto", 5, 0) == "fft"
-        monkeypatch.setattr(gaussian, "FFT_CROSSOVER_TAPS", 99)
-        monkeypatch.setattr(gaussian, "TILED_MIN_PLANE_BYTES", 10)
-        assert gaussian._select_method("auto", 5, 10) == "tiled"
-        assert gaussian._select_method("auto", 5, 9) == "folded"
+        assert gaussian._select_method("auto", taps, nbytes) == "folded"
+        for name, value in env.items():
+            monkeypatch.setenv(name, value)
+        assert gaussian._select_method("auto", taps, nbytes) == want
+        for name in env:
+            monkeypatch.delenv(name)
+        assert gaussian._select_method("auto", taps, nbytes) == "folded"
+
+    def test_env_moves_fused_h_method_at_call_time(self, monkeypatch):
+        import numpy as np
+
+        from repro.runtime.fused import FusedToneMapPlan
+        from repro.tonemap.pipeline import ToneMapParams
+
+        frame = np.random.default_rng(7).random((32, 32))
+        plan = FusedToneMapPlan(ToneMapParams(sigma=4.0))
+        taps = plan.kernel.coefficients.size
+        assert plan.h_method(*frame.shape) == "folded"
+        monkeypatch.setenv("REPRO_FUSED_FFT_MIN_TAPS", str(taps))
+        assert plan.h_method(*frame.shape) == "fft"
+
+    def test_override_moves_the_auto_dispatch(self):
+        # planner.override pins thresholds for the calling context; the
+        # dispatch in gaussian reads the active profile per call.
+        from repro import planner
+        from repro.tonemap import gaussian
+
+        with planner.override(fft_crossover_taps=5):
+            assert gaussian._select_method("auto", 5, 0) == "fft"
+        with planner.override(fft_crossover_taps=99, tiled_min_plane_bytes=10):
+            assert gaussian._select_method("auto", 5, 10) == "tiled"
+            assert gaussian._select_method("auto", 5, 9) == "folded"
+        assert gaussian._select_method("auto", 5, 10) == "folded"

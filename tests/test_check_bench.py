@@ -173,6 +173,11 @@ class TestCommittedBaseline:
         # stay strict.
         assert "test_fused_vs_staged_1024::intermediate_bytes" in strict
         assert "test_fused_threads_1024::intermediate_bytes" in strict
+        # And the PR 7 planner acceptance bar: planned dispatch matching
+        # the hand-tuned path is a decision check, not a timing.
+        assert (
+            "test_planner_dispatch_1024::planner_matches_manual" in strict
+        )
 
     def test_tracks_the_emitted_data_plane_metrics(self):
         # Guards the gate's wiring from the tier-1 suite (benchmark-side
@@ -194,6 +199,9 @@ class TestCommittedBaseline:
             "test_fused_vs_staged_1024::speedup_vs_staged",
             "test_fused_vs_staged_1024::pixels_per_sec",
             "test_fused_threads_1024::intermediate_bytes",
+            "test_planner_dispatch_1024::planner_matches_manual",
+            "test_planner_dispatch_1024::pixels_per_sec",
+            "test_planner_dispatch_1024::speedup_vs_manual",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"

@@ -1,195 +1,36 @@
 #!/usr/bin/env python
-"""Calibrate the blur-dispatch crossovers for this host's BLAS/FFT build.
+"""Calibrate the blur-dispatch crossovers (shim).
 
-``repro.tonemap.gaussian`` dispatches ``method="auto"`` on two tuned
-constants: :data:`FFT_CROSSOVER_TAPS` (folded sliding window → FFT row
-convolution) and :data:`TILED_MIN_PLANE_BYTES` (folded → cache-blocked
-tiled traversal for narrow kernels).  Both were measured on the
-reference host; a different FFT build, cache hierarchy, or memory
-subsystem moves them.  This tool re-measures the crossovers *here* and
-prints the environment overrides the blur module honors at import:
-
-    PYTHONPATH=src python tools/calibrate_crossover.py
-    export REPRO_FFT_CROSSOVER_TAPS=23        # example output
-    export REPRO_TILED_MIN_PLANE_BYTES=8388608
-
-The sweep times :func:`separable_blur` with the method pinned, so the
-numbers are end-to-end (both separable passes), not synthetic.  A
-crossover is the smallest grid point from which the challenger path wins
-at every remaining grid point — a single noisy win does not move the
-dispatch.  ``--quick`` shrinks the grids for smoke runs (CI / tests);
-use the defaults (or larger ``--rounds``) for a real calibration.
+The calibration pass moved into the package as
+``repro.planner.calibrate`` (run it via
+``python -m repro.cli planner calibrate``); this entry point remains for
+callers of the historical tool path and re-exports the module's public
+surface, so spec-loading tests and scripts keep working unchanged.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 from pathlib import Path
-
-import numpy as np
 
 REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 if str(REPO_SRC) not in sys.path:  # direct invocation without PYTHONPATH
     sys.path.insert(0, str(REPO_SRC))
 
-from repro.tonemap.gaussian import (  # noqa: E402 (path bootstrap above)
-    FFT_CROSSOVER_TAPS,
-    TILED_MIN_PLANE_BYTES,
-    GaussianKernel,
-    separable_blur,
+from repro.planner.calibrate import (  # noqa: E402,F401 (path bootstrap)
+    QUICK_RADIUS_GRID,
+    QUICK_SIZE_GRID,
+    RADIUS_GRID,
+    SIZE_GRID,
+    TILED_SWEEP_RADIUS,
+    _best_seconds,
+    _stable_crossover,
+    build_profile,
+    main,
+    run_calibration,
+    sweep_fft_taps,
+    sweep_tiled_bytes,
 )
-
-#: Radii swept for the folded-vs-FFT crossover (taps = 2r + 1).
-RADIUS_GRID = (4, 6, 8, 10, 12, 14, 16, 20, 24, 32)
-QUICK_RADIUS_GRID = (4, 8, 12)
-
-#: Plane edge sizes swept for the folded-vs-tiled crossover.
-SIZE_GRID = (512, 768, 1024, 1536, 2048, 3072)
-QUICK_SIZE_GRID = (128, 256)
-
-#: Narrow-kernel radius used for the tiled sweep (must stay below the
-#: FFT crossover, where the tiled path is reachable at all).
-TILED_SWEEP_RADIUS = 8
-
-
-def _best_seconds(fn, rounds: int) -> float:
-    times = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
-def _stable_crossover(rows, key):
-    """Smallest grid point from which the challenger wins at every
-    remaining point; ``None`` when it never stabilizes."""
-    for i, row in enumerate(rows):
-        if all(r["challenger_s"] < r["incumbent_s"] for r in rows[i:]):
-            return row[key]
-    return None
-
-
-def sweep_fft_taps(size: int, rounds: int, grid) -> dict:
-    """folded vs FFT row convolution across kernel widths."""
-    rng = np.random.default_rng(2018)
-    plane = rng.uniform(0.0, 1.0, (size, size))
-    rows = []
-    for radius in grid:
-        kernel = GaussianKernel(sigma=max(radius / 3.0, 0.5), radius=radius)
-        folded_s = _best_seconds(
-            lambda: separable_blur(plane, kernel, method="folded"), rounds
-        )
-        fft_s = _best_seconds(
-            lambda: separable_blur(plane, kernel, method="fft"), rounds
-        )
-        rows.append(
-            {
-                "taps": kernel.taps,
-                "incumbent_s": folded_s,
-                "challenger_s": fft_s,
-            }
-        )
-    crossover = _stable_crossover(rows, "taps")
-    if crossover is None:
-        # FFT never stabilized as the winner on this grid: recommend a
-        # value just past the widest measured kernel so auto stays on
-        # the sliding-window paths where they are known to win.
-        crossover = rows[-1]["taps"] + 2
-    return {"rows": rows, "recommended": int(crossover)}
-
-
-def sweep_tiled_bytes(rounds: int, grid) -> dict:
-    """folded vs tiled traversal across plane sizes (narrow kernel)."""
-    rng = np.random.default_rng(2019)
-    kernel = GaussianKernel(
-        sigma=TILED_SWEEP_RADIUS / 3.0, radius=TILED_SWEEP_RADIUS
-    )
-    rows = []
-    for size in grid:
-        plane = rng.uniform(0.0, 1.0, (size, size))
-        folded_s = _best_seconds(
-            lambda: separable_blur(plane, kernel, method="folded"), rounds
-        )
-        tiled_s = _best_seconds(
-            lambda: separable_blur(plane, kernel, method="tiled"), rounds
-        )
-        rows.append(
-            {
-                "plane_bytes": plane.nbytes,
-                "size": size,
-                "incumbent_s": folded_s,
-                "challenger_s": tiled_s,
-            }
-        )
-    crossover = _stable_crossover(rows, "plane_bytes")
-    if crossover is None:
-        # Tiling never stabilized as the winner (typical on hosts whose
-        # LLC swallows the whole sweep): push the threshold past the
-        # largest measured plane.
-        crossover = rows[-1]["plane_bytes"] * 2
-    return {"rows": rows, "recommended": int(crossover)}
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description=__doc__.splitlines()[0],
-    )
-    parser.add_argument(
-        "--size", type=int, default=768,
-        help="plane edge for the FFT-crossover sweep (default 768)",
-    )
-    parser.add_argument(
-        "--rounds", type=int, default=3,
-        help="timing rounds per point, best-of (default 3)",
-    )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="tiny grids for smoke runs (CI); not a real calibration",
-    )
-    parser.add_argument(
-        "--json", action="store_true",
-        help="emit the full sweep as JSON instead of the report",
-    )
-    args = parser.parse_args(argv)
-
-    radius_grid = QUICK_RADIUS_GRID if args.quick else RADIUS_GRID
-    size_grid = QUICK_SIZE_GRID if args.quick else SIZE_GRID
-    size = min(args.size, 256) if args.quick else args.size
-
-    fft = sweep_fft_taps(size, args.rounds, radius_grid)
-    tiled = sweep_tiled_bytes(args.rounds, size_grid)
-
-    if args.json:
-        print(json.dumps({"fft": fft, "tiled": tiled}, indent=2))
-        return 0
-
-    print(f"FFT crossover sweep ({size}x{size} plane, best of "
-          f"{args.rounds}):")
-    for row in fft["rows"]:
-        winner = "fft" if row["challenger_s"] < row["incumbent_s"] else "folded"
-        print(f"  taps {row['taps']:>3}: folded {row['incumbent_s']*1e3:8.2f} ms"
-              f"   fft {row['challenger_s']*1e3:8.2f} ms   -> {winner}")
-    print(f"Tiled crossover sweep (radius {TILED_SWEEP_RADIUS} kernel):")
-    for row in tiled["rows"]:
-        winner = (
-            "tiled" if row["challenger_s"] < row["incumbent_s"] else "folded"
-        )
-        print(f"  {row['size']:>4}^2 ({row['plane_bytes']:>10} B): "
-              f"folded {row['incumbent_s']*1e3:8.2f} ms   "
-              f"tiled {row['challenger_s']*1e3:8.2f} ms   -> {winner}")
-    print()
-    print(f"current dispatch: FFT_CROSSOVER_TAPS={FFT_CROSSOVER_TAPS} "
-          f"TILED_MIN_PLANE_BYTES={TILED_MIN_PLANE_BYTES}")
-    print("recommended overrides for this host "
-          "(honored by repro.tonemap.gaussian at import):")
-    print(f"export REPRO_FFT_CROSSOVER_TAPS={fft['recommended']}")
-    print(f"export REPRO_TILED_MIN_PLANE_BYTES={tiled['recommended']}")
-    return 0
-
 
 if __name__ == "__main__":
     sys.exit(main())
