@@ -31,9 +31,12 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
+from repro.errors import ReproError
 from repro.image.synthetic import SceneParams, make_scene
 from repro.runtime import (
     BatchToneMapper,
+    BreakerPolicy,
+    FaultPlan,
     ShardPool,
     TenantConfig,
     ToneMapIngestor,
@@ -689,6 +692,120 @@ def test_two_tenant_contention_small(benchmark):
         )
         benchmark.extra_info["fairness_index"] = measured["fairness"]
         benchmark.extra_info["heavy_frames_served"] = measured["heavy_served"]
+
+
+# ----------------------------------------------------------------------
+# Chaos recovery: the reliability layer under a deterministic fault plan
+# ----------------------------------------------------------------------
+CHAOS_SIZE = 64
+CHAOS_BATCH = 4
+CHAOS_BATCHES = 6
+#: One of everything, keyed to dispatch-attempt indices (six batches run
+#: serially, so the mapping is exact): attempt 0 is jittered, attempt 1
+#: hangs until the watchdog breaks it (the hedge is attempt 2), attempt 3
+#: exhausts the arena onto transient slabs, and attempts 4/5 are batch
+#: 3's first try and its hedge — both killed, which spends the retry
+#: budget and trips the breaker into brownout for the rest of the run.
+CHAOS_PLAN = FaultPlan(
+    slow_batches=(0,),
+    hang_batches=(1,),
+    exhaust_batches=(3,),
+    kill_batches=(4, 5),
+    hang_ms=30_000.0,
+    jitter_ms=2.0,
+)
+
+
+def _chaos_round(service, batches, want):
+    """Serve every batch through the faulted service; returns frames lost.
+
+    Batches go one at a time (the lease is only handed to
+    ``submit_stack`` after the previous batch resolved), which pins the
+    dispatch-attempt indices CHAOS_PLAN is keyed to.  Every recovered
+    batch must be bit-identical to the in-process reference — recovery
+    that changes pixels is not recovery.
+    """
+    lost = 0
+    for index, stack in enumerate(batches):
+        lease = service.lease_input(stack.shape[1:])
+        lease.array[: len(stack)] = stack
+        try:
+            outputs = service.submit_stack(
+                lease,
+                len(stack),
+                [f"b{index}f{i}" for i in range(len(stack))],
+            ).result(timeout=120)
+        except ReproError:
+            lost += len(stack)
+            continue
+        got = np.stack([o.pixels for o in outputs]).astype(np.float32)
+        np.testing.assert_array_equal(got, want[index])
+    return lost
+
+
+def test_chaos_recovery_small(benchmark):
+    """The PR 8 acceptance case: no frame lost under the kitchen-sink plan.
+
+    A deterministic :data:`CHAOS_PLAN` throws one of every fault at a
+    breaker-guarded sharded service.  The gated counters
+    (``benchmarks/baseline.json``, strict) are machine-independent:
+    ``frames_lost`` must be exactly 0 (every batch recovers — hedged
+    replay for the hang and first kill, arena overflow for the
+    exhaustion, in-process brownout once the breaker opens),
+    ``watchdog_kills`` and ``brownout_batches`` must be nonzero (the
+    recovery paths really fired; a silently-disabled watchdog or breaker
+    would zero them while the outputs still pass).  The recorded rate is
+    the brownout-recovery throughput trajectory for the reference host.
+    """
+    rng = np.random.default_rng(8)
+    batches = [
+        rng.random((CHAOS_BATCH, CHAOS_SIZE, CHAOS_SIZE), dtype=np.float32)
+        for _ in range(CHAOS_BATCHES)
+    ]
+    want = [
+        BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
+        for stack in batches
+    ]
+    policy = BreakerPolicy(
+        failure_threshold=1, window_s=60.0, cooldown_s=600.0, probe_batches=1
+    )
+    lost = 0
+
+    with ToneMapService(
+        PARAMS, batch_size=CHAOS_BATCH, shards=2, faults=CHAOS_PLAN,
+        breaker=policy, shard_timeout_ms=1_000.0,
+    ) as service:
+
+        def run():
+            nonlocal lost
+            lost += _chaos_round(service, batches, want)
+
+        # The faults land in this first round (the plan's attempt indices
+        # are all < 6); benchmark rounds then measure the browned-out
+        # steady state — the throughput a deployment actually sees while
+        # the breaker holds the pool open.
+        run()
+        benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+        reliability = service.stats.reliability
+        kills = service.pool.watchdog_kills
+        assert lost == 0, f"chaos run lost {lost} frames"
+        assert kills >= 1, "the hung batch must be watchdog-killed"
+        assert reliability.brownout_batches >= 1, (
+            "the killed batch must brown out through the breaker"
+        )
+        assert reliability.breaker_state == "open"
+        assert service.pool.arena.stats.overflow >= 1
+        assert service.pool.arena.stats.leases_active == 0
+    if benchmark.stats is not None:
+        pixels = CHAOS_BATCHES * CHAOS_BATCH * CHAOS_SIZE * CHAOS_SIZE
+        best_s = benchmark.stats.stats.min
+        benchmark.extra_info["frames"] = CHAOS_BATCHES * CHAOS_BATCH
+        benchmark.extra_info["pixels_per_sec"] = pixels / best_s
+        benchmark.extra_info["frames_lost"] = float(lost)
+        benchmark.extra_info["watchdog_kills"] = float(kills)
+        benchmark.extra_info["brownout_batches"] = float(
+            reliability.brownout_batches
+        )
 
 
 # The guard that benchmarks/baseline.json keeps tracking the metrics

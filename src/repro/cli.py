@@ -27,7 +27,11 @@ signals; ``--max-delay-ms`` / ``--queue-limit`` / ``--policy`` stream
 the images through the :class:`repro.runtime.ToneMapIngestor` front-end
 (deadline coalescing + bounded-queue backpressure, zero-copy into the
 arena when sharded) instead of submitting them as one pre-grouped
-workload; ``--fused`` (with ``--threads N``) runs batches through the
+workload; ``--deadline-ms`` / ``--shard-timeout-ms`` / ``--breaker`` /
+``--fault-plan`` arm the reliability layer (per-frame latency budgets,
+the hung-shard watchdog + hedged replay, circuit-breaker brownout to
+the in-process mapper, and seeded chaos injection — the counters land
+in the report); ``--fused`` (with ``--threads N``) runs batches through the
 fused band engine — single-pass tiled stages with no full-frame
 intermediates (:mod:`repro.runtime.fused`); ``--plan auto`` lets the
 execution planner (:mod:`repro.planner`) pick the engine and blur path
@@ -198,6 +202,33 @@ def build_parser() -> argparse.ArgumentParser:
              "copies; requires --shards and the streaming path",
     )
     batch.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-frame end-to-end latency budget: frames still queued "
+             "past it are shed with DeadlineExceededError and the "
+             "remaining budget rides into the shard pool as the batch "
+             "timeout (implies the streaming path)",
+    )
+    batch.add_argument(
+        "--shard-timeout-ms", type=float, default=None,
+        help="per-attempt batch execution budget on the shard pool: the "
+             "watchdog SIGKILLs workers that hold a batch past it and "
+             "hedge-replays the batch once (requires --shards or "
+             "--autoscale)",
+    )
+    batch.add_argument(
+        "--breaker", type=int, default=None, metavar="K",
+        help="circuit breaker: after K shard failures in a 30 s window, "
+             "brown batches out to the in-process mapper (bit-identical, "
+             "slower) until probes succeed (requires --shards or "
+             "--autoscale)",
+    )
+    batch.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="chaos injection plan, e.g. 'kill@2,hang%%0.05,seed=7' "
+             "(kinds: kill/hang/exhaust/slow; @ lists batch indices, "
+             "%% a probability); also read from REPRO_FAULT_PLAN",
+    )
+    batch.add_argument(
         "--plan", default=None, metavar="auto|FILE",
         help="dispatch through the execution planner: 'auto' plans from "
              "the workload and the active calibration profile; a file "
@@ -319,9 +350,14 @@ def run_batch(args) -> None:
     """The ``batch`` subcommand: tone-map N images, report throughput."""
     import time
 
-    from repro.errors import ServiceOverloadedError
+    from repro.errors import DeadlineExceededError, ServiceOverloadedError
     from repro.image.ppm import write_ppm
-    from repro.runtime import ResultHandle, ToneMapIngestor, ToneMapService
+    from repro.runtime import (
+        BreakerPolicy,
+        ResultHandle,
+        ToneMapIngestor,
+        ToneMapService,
+    )
     from repro.tonemap.fixed_blur import FixedBlurConfig
     from repro.tonemap.pipeline import ToneMapParams
 
@@ -340,6 +376,32 @@ def run_batch(args) -> None:
         raise SystemExit("--threads requires --fused or --plan")
     if args.threads is not None and args.threads < 1:
         raise SystemExit(f"--threads must be >= 1, got {args.threads}")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit(f"--deadline-ms must be > 0, got {args.deadline_ms}")
+    if args.shard_timeout_ms is not None and args.shard_timeout_ms <= 0:
+        raise SystemExit(
+            f"--shard-timeout-ms must be > 0, got {args.shard_timeout_ms}"
+        )
+    if args.breaker is not None and args.breaker < 1:
+        raise SystemExit(f"--breaker must be >= 1, got {args.breaker}")
+    if (
+        (args.shard_timeout_ms is not None or args.breaker is not None)
+        and args.shards is None
+        and not args.autoscale
+    ):
+        raise SystemExit(
+            "--shard-timeout-ms/--breaker require a shard pool "
+            "(--shards or --autoscale) — they guard the worker processes"
+        )
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.errors import ToneMapError
+        from repro.runtime import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.fault_plan)
+        except ToneMapError as exc:
+            raise SystemExit(f"--fault-plan: {exc}") from exc
     params = (
         ToneMapParams() if args.sigma is None
         else ToneMapParams(sigma=args.sigma)
@@ -395,6 +457,7 @@ def run_batch(args) -> None:
         or tenants is not None
         or args.per_tenant_queue_limit is not None
         or args.lease_results
+        or args.deadline_ms is not None
     )
     shards = args.shards
     if args.lease_results and shards is None and not args.autoscale:
@@ -438,6 +501,7 @@ def run_batch(args) -> None:
             min_shards=floor, max_shards=ceiling
         )
     dropped = 0
+    expired = 0
     start = time.perf_counter()
     with ToneMapService(
         params,
@@ -451,6 +515,12 @@ def run_batch(args) -> None:
         fused=args.fused,
         fused_threads=args.threads,
         plan=plan,
+        shard_timeout_ms=args.shard_timeout_ms,
+        breaker=(
+            None if args.breaker is None
+            else BreakerPolicy(failure_threshold=args.breaker)
+        ),
+        faults=fault_plan,
     ) as service:
         if streaming:
             tenant_names = sorted(tenants) if tenants else None
@@ -466,6 +536,7 @@ def run_batch(args) -> None:
                 tenants=tenants,
                 per_tenant_queue_limit=args.per_tenant_queue_limit,
                 lease_results=args.lease_results,
+                default_deadline_ms=args.deadline_ms,
             ) as ingestor:
                 futures = []
                 for index, image in enumerate(images):
@@ -486,6 +557,9 @@ def run_batch(args) -> None:
                         result = future.result()
                     except ServiceOverloadedError:
                         dropped += 1
+                        continue
+                    except DeadlineExceededError:
+                        expired += 1
                         continue
                     if isinstance(result, ResultHandle):
                         # Lease-native consumption: materialize only if
@@ -547,6 +621,27 @@ def run_batch(args) -> None:
         if dropped:
             print(f"  dropped       : {dropped} "
                   f"(rejected {stats.rejected}, shed {stats.shed})")
+    reliability = stats.reliability
+    reliability_on = (
+        args.deadline_ms is not None
+        or args.shard_timeout_ms is not None
+        or args.breaker is not None
+        or fault_plan is not None
+        or reliability.deadline_shed
+        or reliability.hedged_replays
+        or reliability.watchdog_kills
+        or reliability.brownout_batches
+    )
+    if reliability_on:
+        print(f"  deadline shed : {reliability.deadline_shed}"
+              + (f" (of {expired + len(outputs)} resolved)" if expired else ""))
+        print(f"  watchdog      : {reliability.watchdog_kills} kill(s), "
+              f"{reliability.hedged_replays} hedged replay(s)")
+        print(f"  breaker       : {reliability.breaker_state} "
+              f"({reliability.breaker_transitions} transition(s), "
+              f"{reliability.brownout_batches} brownout batch(es))")
+        if fault_plan is not None:
+            print(f"  fault plan    : {fault_plan.to_spec()}")
     if args.output_dir is not None:
         args.output_dir.mkdir(parents=True, exist_ok=True)
         for index, output in enumerate(outputs):

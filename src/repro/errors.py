@@ -73,6 +73,62 @@ class ShardCrashError(ReproError):
     """
 
 
+class DeadlineExceededError(ReproError):
+    """A frame's latency budget expired before it could be dispatched.
+
+    Raised onto a frame's future by the ingestor when the deadline
+    stamped at ``submit(..., deadline_ms=...)`` passes while the frame
+    is still queued: computing a result nobody can use anymore would
+    only steal batch seats from frames that can still make their
+    budgets, so expired frames are shed at dispatch time instead.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant the frame was submitted under.
+    elapsed_ms:
+        How long the frame actually waited before being shed.
+    deadline_ms:
+        The budget it was submitted with.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None,
+                 elapsed_ms: float = 0.0, deadline_ms: float | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.elapsed_ms = elapsed_ms
+        self.deadline_ms = deadline_ms
+
+
+class ShardTimeoutError(ReproError):
+    """A sharded batch exceeded its execution budget and replay failed.
+
+    The pool's watchdog SIGKILLs workers that hold a batch past its
+    budget (an explicit ``timeout`` or the p95-derived hang threshold)
+    and replays the batch once on a respawned worker set — a *hedged
+    replay*.  This error surfaces only when the replay budget is
+    exhausted too: the batch hung repeatedly, or the remaining deadline
+    budget cannot fit another attempt.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose budget drove the timeout (``None`` when the
+        batch mixed tenants or the pool was called directly).
+    elapsed_ms:
+        Wall-clock spent across all attempts before giving up.
+    retries:
+        Hedged replays performed before this error.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None,
+                 elapsed_ms: float = 0.0, retries: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.elapsed_ms = elapsed_ms
+        self.retries = retries
+
+
 class HlsError(ReproError):
     """High-level-synthesis front-end or scheduling failure."""
 

@@ -49,18 +49,43 @@ four composable stages (diagrammed in ``docs/architecture.md``):
   zero-copy :class:`~repro.runtime.arena.ResultHandle` views instead of
   materialized copies.
 
+On top of the data plane sits the **reliability layer** (PR 8): frames
+carry end-to-end latency budgets (``submit(..., deadline_ms=...)`` —
+expired frames shed with
+:class:`~repro.errors.DeadlineExceededError`, the remaining budget
+rides into the pool as the batch timeout), a shard watchdog SIGKILLs
+hung workers and hedge-replays their batches
+(:class:`~repro.errors.ShardTimeoutError` past the budget), and a
+:class:`~repro.runtime.reliability.CircuitBreaker` browns persistent
+shard failure out to the in-process mapper (bit-identical outputs,
+honestly slower).  All of it is observable as
+:class:`~repro.runtime.reliability.ReliabilityStats` on
+``ServiceStats`` and chaos-testable via seedable
+:class:`~repro.runtime.faults.FaultPlan` injection
+(``REPRO_FAULT_PLAN`` / CLI ``--fault-plan``), with time injectable
+everywhere through :mod:`repro.runtime.clock`.
+
 Wired into the CLI as ``repro-experiments batch`` (``--shards``,
 ``--max-delay-ms``, ``--queue-limit``, ``--policy``,
 ``--tenant-weights``, ``--per-tenant-queue-limit``,
-``--lease-results``) and demonstrated by
+``--lease-results``, ``--deadline-ms``, ``--shard-timeout-ms``,
+``--breaker``, ``--fault-plan``) and demonstrated by
 ``examples/batch_throughput.py``.  Throughput and the fairness /
-zero-copy gates are tracked over time by
+zero-copy / chaos-recovery gates are tracked over time by
 ``benchmarks/bench_runtime.py`` — see ``docs/benchmarks.md`` for how to
 run and read it.
 """
 
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ShardCrashError,
+    ShardTimeoutError,
+)
 from repro.runtime.arena import ArenaLease, ArenaStats, ResultHandle, ShmArena
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
+from repro.runtime.clock import Clock, FakeClock, MonotonicClock
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.fused import (
     FusedExecutor,
     FusedStats,
@@ -71,6 +96,11 @@ from repro.runtime.ingest import (
     DeficitRoundRobin,
     TenantConfig,
     ToneMapIngestor,
+)
+from repro.runtime.reliability import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ReliabilityStats,
 )
 from repro.runtime.service import ServiceStats, TenantStats, ToneMapService
 from repro.runtime.shard import (
@@ -87,15 +117,27 @@ __all__ = [
     "BackpressurePolicy",
     "BatchToneMapper",
     "BatchToneMapResult",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "Clock",
     "DataPlaneStats",
+    "DeadlineExceededError",
     "DeficitRoundRobin",
+    "FakeClock",
+    "FaultInjector",
+    "FaultPlan",
     "FusedExecutor",
     "FusedStats",
     "FusedToneMapPlan",
+    "MonotonicClock",
+    "ReliabilityStats",
     "ResultHandle",
+    "ServiceOverloadedError",
     "ServiceStats",
     "ShardAutoscaler",
+    "ShardCrashError",
     "ShardPool",
+    "ShardTimeoutError",
     "ShmArena",
     "TenantConfig",
     "TenantStats",

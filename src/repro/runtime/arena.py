@@ -347,12 +347,21 @@ class ShmArena:
         return self._lease("in", shape, dtype)
 
     def lease_output(
-        self, shape: Tuple[int, ...], dtype=np.float32
+        self, shape: Tuple[int, ...], dtype=np.float32,
+        force_transient: bool = False,
     ) -> ArenaLease:
-        """Lease an output slab from the ring (workers write results here)."""
-        return self._lease("out", shape, dtype)
+        """Lease an output slab from the ring (workers write results here).
 
-    def _lease(self, kind: str, shape, dtype) -> ArenaLease:
+        ``force_transient`` skips the pooled ring and takes the
+        transient-overflow path directly, as if every resident slab were
+        held — the hook chaos tests use to exercise arena exhaustion
+        without actually pinning slabs.
+        """
+        return self._lease("out", shape, dtype,
+                           force_transient=force_transient)
+
+    def _lease(self, kind: str, shape, dtype,
+               force_transient: bool = False) -> ArenaLease:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         if nbytes <= 0:
             raise ToneMapError(f"cannot lease an empty segment for {shape}")
@@ -362,7 +371,10 @@ class ShmArena:
             if self._closed:
                 raise ToneMapError("arena is closed")
             free = self._free.setdefault(key, deque())
-            if free:
+            if force_transient:
+                segment = self._create(cls, kind, transient=True)
+                self._bump(acquisitions=1, overflow=1)
+            elif free:
                 segment = free.popleft()
                 self._bump(acquisitions=1, reuses=1)
             elif self._resident.get(key, 0) < self.slots:

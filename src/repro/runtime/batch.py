@@ -46,6 +46,8 @@ import numpy as np
 from repro.errors import ToneMapError
 from repro.image.color import LUMA_WEIGHTS
 from repro.image.hdr import HDRImage
+from repro.runtime.clock import MONOTONIC
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.fused import FusedExecutor, FusedStats, FusedToneMapPlan
 from repro.tonemap.adjust import adjust_brightness_contrast
 from repro.tonemap.gaussian import blur_batch
@@ -107,6 +109,16 @@ class BatchToneMapper:
         engine is ``"fused"`` is ignored when ``params.blur_fn`` is set
         — the fused engine is float-only, and a plan computed for a
         float workload must not crash a fixed-point mapper.
+    faults:
+        Chaos hook (:mod:`repro.runtime.faults`): a
+        :class:`~repro.runtime.faults.FaultPlan` or a shared
+        :class:`~repro.runtime.faults.FaultInjector` whose ``slow``
+        jitter delays batches in-process — the only fault kind with an
+        in-process analogue (there is no worker to kill or hang here).
+        Explicit-only (never read from the environment): the service's
+        brownout path shares its injector so chaos plans keep applying
+        after the breaker routes batches away from the pool, while
+        shard workers — whose faults the parent injects — stay clean.
     """
 
     def __init__(
@@ -115,8 +127,18 @@ class BatchToneMapper:
         fused: bool = False,
         threads: Optional[int] = None,
         plan: Optional["ExecutionPlan"] = None,
+        faults: Optional[object] = None,
     ):
         self.params = params if params is not None else ToneMapParams()
+        if faults is None or isinstance(faults, FaultInjector):
+            self.faults: Optional[FaultInjector] = faults
+        elif isinstance(faults, FaultPlan):
+            self.faults = FaultInjector(faults)
+        else:
+            raise ToneMapError(
+                f"faults must be a FaultPlan or FaultInjector, got "
+                f"{type(faults)!r}"
+            )
         self._kernel = self.params.kernel()
         self.execution_plan = plan
         band_bytes = None
@@ -167,6 +189,14 @@ class BatchToneMapper:
         if self._engine is not None:
             self._engine.close()
 
+    def _maybe_jitter(self) -> None:
+        """Apply the fault plan's ``slow`` delay to this batch (if any)."""
+        if self.faults is None:
+            return
+        index, kinds = self.faults.next_inproc()
+        if "slow" in kinds:
+            MONOTONIC.sleep(self.faults.plan.jitter_s(index))
+
     def run(self, images: Sequence[HDRImage]) -> BatchToneMapResult:
         """Tone-map a batch of same-shape images and return every output."""
         if len(images) == 0:
@@ -183,6 +213,7 @@ class BatchToneMapper:
                     "ToneMapService does)"
                 )
 
+        self._maybe_jitter()
         height, width = shape[0], shape[1]
         count = len(images)
         masks = np.empty((count, height, width), dtype=np.float64)
@@ -319,6 +350,7 @@ class BatchToneMapper:
             raise ToneMapError(
                 f"out shape {out.shape} does not match stack {stack.shape}"
             )
+        self._maybe_jitter()
         if self._engine is not None:
             # Single fused pass; the shard workers' hot path.  No mask
             # volume is materialized at all — the mask bands live and die

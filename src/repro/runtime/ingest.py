@@ -74,15 +74,19 @@ import asyncio
 import concurrent.futures as futures_module
 import enum
 import threading
-import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from numbers import Real
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.errors import ServiceOverloadedError, ToneMapError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ToneMapError,
+)
 from repro.image.hdr import HDRImage
+from repro.runtime.clock import MONOTONIC, Clock
 from repro.runtime.service import (
     LATENCY_WINDOW,
     ServiceStats,
@@ -222,6 +226,8 @@ class _Pending:
     enqueued_at: float
     image: Optional[HDRImage]
     tenant: str
+    #: Absolute (clock-relative) latency deadline, or None for no budget.
+    deadline: Optional[float] = None
 
 
 class _TenantState:
@@ -310,6 +316,16 @@ class ToneMapIngestor:
         Defaults to the service's thread-pool width — enough to keep
         every worker busy while excess frames wait where the DRR
         scheduler can keep them fair.
+    default_deadline_ms:
+        Latency budget stamped on every frame whose ``submit`` call
+        does not pass its own ``deadline_ms``.  ``None`` (the default)
+        stamps no budget — frames wait indefinitely, exactly the old
+        behaviour.
+    clock:
+        Injectable monotonic time source (:mod:`repro.runtime.clock`);
+        every ingestor timestamp — enqueue times, coalescing deadlines,
+        frame latency budgets, latency stats — reads this one clock, so
+        chaos tests fake time instead of sleeping.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -325,6 +341,8 @@ class ToneMapIngestor:
         per_tenant_queue_limit: Optional[int] = None,
         lease_results: bool = False,
         max_inflight_batches: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        clock: Optional[Clock] = None,
     ):
         if max_delay_ms < 0:
             raise ToneMapError(
@@ -355,9 +373,15 @@ class ToneMapIngestor:
                 "(a sharded service with zero_copy enabled) — the arena "
                 "slab ring is what the handles lease from"
             )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ToneMapError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
         self.service = service
         self.max_delay = max_delay_ms / 1e3
         self.queue_limit = queue_limit
+        self.default_deadline_ms = default_deadline_ms
+        self._clock = clock if clock is not None else MONOTONIC
         self.policy = BackpressurePolicy(policy)
         self.zero_copy = bool(zero_copy)
         self.lease_results = bool(lease_results)
@@ -380,6 +404,7 @@ class ToneMapIngestor:
         self._queue_peak = 0
         self._rejected = 0
         self._shed = 0
+        self._deadline_shed = 0
         # One coalesced shed-storm error context per binding scope (a
         # tenant name, or None for the global limit), reset at the next
         # dispatch — see _shed_one_locked.
@@ -421,16 +446,32 @@ class ToneMapIngestor:
     # Submission APIs
     # ------------------------------------------------------------------
     def submit(
-        self, image: HDRImage, tenant: str = DEFAULT_TENANT
+        self,
+        image: HDRImage,
+        tenant: str = DEFAULT_TENANT,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[HDRImage]":
         """Admit one image (blocking API); resolves to its output.
 
         Applies the tenant's (then the global) backpressure policy when
         a queue limit is hit, then parks the frame in the tenant's queue
         for the DRR scheduler to batch.
+
+        ``deadline_ms`` (default: the ingestor's ``default_deadline_ms``)
+        stamps an end-to-end latency budget on the frame: if it expires
+        while the frame is still queued, the frame is shed — its future
+        fails with :class:`~repro.errors.DeadlineExceededError` and its
+        slot frees immediately — and whatever budget remains at dispatch
+        rides into the shard pool as the batch's execution timeout.
         """
         if not isinstance(image, HDRImage):
             raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ToneMapError(
+                f"deadline_ms must be > 0, got {deadline_ms}"
+            )
         with self._lock:
             if self._closed:
                 raise ToneMapError("ingestor is closed")
@@ -473,8 +514,16 @@ class ToneMapIngestor:
                 self._space.wait()
                 if self._closed:
                     raise ToneMapError("ingestor is closed")
+            now = self._clock.now()
             pending = _Pending(
-                image.name, Future(), time.perf_counter(), image, tenant
+                image.name,
+                Future(),
+                now,
+                image,
+                tenant,
+                deadline=(
+                    None if deadline_ms is None else now + deadline_ms / 1e3
+                ),
             )
             shape = image.pixels.shape
             state.queues.setdefault(shape, deque()).append(pending)
@@ -488,7 +537,10 @@ class ToneMapIngestor:
         return pending.future
 
     async def submit_async(
-        self, image: HDRImage, tenant: str = DEFAULT_TENANT
+        self,
+        image: HDRImage,
+        tenant: str = DEFAULT_TENANT,
+        deadline_ms: Optional[float] = None,
     ) -> HDRImage:
         """Admit one image from an event loop; returns the output.
 
@@ -497,19 +549,27 @@ class ToneMapIngestor:
         result is awaited without blocking either.
         """
         loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(None, self.submit, image, tenant)
+        future = await loop.run_in_executor(
+            None, lambda: self.submit(image, tenant, deadline_ms)
+        )
         return await asyncio.wrap_future(future)
 
     def map_many(
-        self, images: Sequence[HDRImage], tenant: str = DEFAULT_TENANT
+        self,
+        images: Sequence[HDRImage],
+        tenant: str = DEFAULT_TENANT,
+        deadline_ms: Optional[float] = None,
     ) -> list:
         """Submit many images one by one and wait for all outputs in order.
 
         Convenience for scripted workloads; under the ``reject`` /
         ``shed-oldest`` policies a dropped submission surfaces here as
-        :class:`~repro.errors.ServiceOverloadedError`.
+        :class:`~repro.errors.ServiceOverloadedError`, and an expired
+        ``deadline_ms`` as :class:`~repro.errors.DeadlineExceededError`.
         """
-        futures = [self.submit(image, tenant) for image in images]
+        futures = [
+            self.submit(image, tenant, deadline_ms) for image in images
+        ]
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -582,6 +642,58 @@ class ToneMapIngestor:
             pass  # the caller cancelled it first
         return True
 
+    def _expire_due_locked(self, now: float) -> None:
+        """Shed every queued frame whose latency budget has expired.
+
+        Computing a result nobody can use anymore would only steal batch
+        seats from frames that can still make their budgets, so expired
+        frames are dropped here — at scheduling time, before seats are
+        allocated — each failing with its own
+        :class:`~repro.errors.DeadlineExceededError` (deadlines are
+        per-frame facts, unlike shed storms, which share one overload
+        context).  Frames already dispatched are past saving by
+        shedding; their remaining budget rides into the pool as the
+        batch timeout instead.
+        """
+        for state in self._tenants.values():
+            for shape in list(state.queues):
+                queue = state.queues[shape]
+                survivors = deque()
+                for pending in queue:
+                    if pending.deadline is None or pending.deadline > now:
+                        survivors.append(pending)
+                        continue
+                    self._shape_totals[shape] -= 1
+                    if self._shape_totals[shape] <= 0:
+                        del self._shape_totals[shape]
+                    state.in_flight -= 1
+                    self._in_flight -= 1
+                    self._deadline_shed += 1
+                    elapsed_ms = (now - pending.enqueued_at) * 1e3
+                    budget_ms = (
+                        pending.deadline - pending.enqueued_at
+                    ) * 1e3
+                    pending.image = None
+                    try:
+                        pending.future.set_exception(
+                            DeadlineExceededError(
+                                f"frame {pending.name!r} waited "
+                                f"{elapsed_ms:.1f} ms, past its "
+                                f"{budget_ms:.1f} ms budget",
+                                tenant=pending.tenant,
+                                elapsed_ms=elapsed_ms,
+                                deadline_ms=budget_ms,
+                            )
+                        )
+                    except futures_module.InvalidStateError:
+                        pass  # the caller cancelled it first
+                if len(survivors) != len(queue):
+                    if survivors:
+                        state.queues[shape] = survivors
+                    else:
+                        del state.queues[shape]
+                    self._space.notify_all()
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -632,7 +744,8 @@ class ToneMapIngestor:
         beyond it stay in tenant queues where the DRR scheduler keeps
         them fair.
         """
-        now = time.perf_counter()
+        now = self._clock.now()
+        self._expire_due_locked(now)
         batch_size = self.service.batch_size
         flushes: List[_Flush] = []
         while self._dispatched < self.max_inflight_batches:
@@ -662,10 +775,18 @@ class ToneMapIngestor:
         return flushes
 
     def _nearest_deadline_locked(self) -> Optional[float]:
+        """Next instant the scheduler must wake: coalescing deadlines
+        plus any queued frame's latency budget (so expiry sheds happen
+        on time, not at the next unrelated arrival)."""
         deadlines = [
             self._oldest_locked(shape) + self.max_delay
             for shape in self._shape_totals
         ]
+        for state in self._tenants.values():
+            for queue in state.queues.values():
+                for pending in queue:
+                    if pending.deadline is not None:
+                        deadlines.append(pending.deadline)
         return min(deadlines) if deadlines else None
 
     def _coalesce_loop(self) -> None:
@@ -692,7 +813,7 @@ class ToneMapIngestor:
                         timeout = (
                             None
                             if deadline is None
-                            else max(0.0, deadline - time.perf_counter())
+                            else max(0.0, deadline - self._clock.now())
                         )
                     self._arrived.wait(timeout=timeout)
             for batch in batches:
@@ -708,6 +829,20 @@ class ToneMapIngestor:
         here so an overloaded shutdown cannot strand a slab.
         """
         names = [pending.name for pending in flush.items]
+        # The batch inherits the tightest remaining frame budget as its
+        # execution timeout: the pool's watchdog then bounds a hung
+        # worker by exactly the latency promise the frames carry.
+        deadlines = [
+            pending.deadline
+            for pending in flush.items
+            if pending.deadline is not None
+        ]
+        timeout = None
+        if deadlines:
+            # Floor at 1 ms: a frame that expired between scheduling and
+            # dispatch still gets one real attempt — shedding it here
+            # would duplicate _expire_due_locked's job with worse odds.
+            timeout = max(1e-3, min(deadlines) - self._clock.now())
         try:
             if self.zero_copy:
                 lease = self.service.lease_input(flush.shape)
@@ -720,6 +855,7 @@ class ToneMapIngestor:
                         flush.count,
                         names,
                         lease_results=self.lease_results,
+                        timeout=timeout,
                     )
                 except BaseException:
                     lease.release()
@@ -737,7 +873,7 @@ class ToneMapIngestor:
 
     def _complete(self, flush: _Flush, result_fn, exc) -> None:
         outputs = None if exc is not None else result_fn()
-        done_at = time.perf_counter()
+        done_at = self._clock.now()
         # Count the batch first so a caller who observes a resolved
         # future also observes its tenant's served/latency counters ...
         with self._lock:
@@ -818,6 +954,9 @@ class ToneMapIngestor:
                 latency_p50_ms=_percentile(ordered, 0.50),
                 latency_p95_ms=_percentile(ordered, 0.95),
                 latency_p99_ms=_percentile(ordered, 0.99),
+                reliability=replace(
+                    base.reliability, deadline_shed=self._deadline_shed
+                ),
                 tenants=tenants,
             )
 

@@ -35,10 +35,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ToneMapError
+from repro.errors import ShardCrashError, ShardTimeoutError, ToneMapError
 from repro.image.hdr import HDRImage
 from repro.runtime.arena import ArenaLease, ResultHandle
 from repro.runtime.batch import BatchToneMapper
+from repro.runtime.clock import MONOTONIC, Clock
+from repro.runtime.faults import resolve_injector
+from repro.runtime.reliability import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ReliabilityStats,
+)
 from repro.runtime.shard import AutoscalePolicy, ShardPool
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
@@ -131,6 +138,12 @@ class ServiceStats:
     shard_respawns:
         Worker-set rebuilds performed after worker crashes (0 in
         health; see :meth:`~repro.runtime.shard.ShardPool.run_leased`).
+    reliability:
+        Reliability-layer counters
+        (:class:`~repro.runtime.reliability.ReliabilityStats`): deadline
+        sheds, watchdog kills, hedged replays, breaker state and
+        brownout batches.  All zeros / ``disabled`` for a service built
+        without deadlines or a breaker.
     tenants:
         Per-tenant :class:`TenantStats`, filled in by a multi-tenant
         :class:`~repro.runtime.ingest.ToneMapIngestor` (empty for the
@@ -152,6 +165,7 @@ class ServiceStats:
     scale_ups: int = 0
     scale_downs: int = 0
     shard_respawns: int = 0
+    reliability: ReliabilityStats = ReliabilityStats()
     tenants: tuple[TenantStats, ...] = ()
 
     @property
@@ -233,6 +247,27 @@ class ToneMapService:
         (pickled) to every shard worker, so the whole service replays
         one recorded set of dispatch decisions.  Explicit
         ``fused``/``fused_threads`` arguments still win over the plan.
+    shard_timeout_ms:
+        Default execution budget per sharded batch; an attempt still
+        running at the budget is killed by the pool's watchdog and
+        hedge-replayed (see :class:`~repro.runtime.shard.ShardPool`).
+        Requires ``shards``.
+    breaker:
+        Circuit-breaker brownout: after repeated shard failures the
+        service stops offering batches to the pool and runs them on the
+        in-process mapper (bit-identical outputs, honestly slower),
+        probing the pool again after a cooldown.  Pass ``True`` for the
+        default :class:`~repro.runtime.reliability.BreakerPolicy`, a
+        policy to tune it, or a ready
+        :class:`~repro.runtime.reliability.CircuitBreaker` (tests share
+        one with a fake clock).  Requires ``shards``; without a breaker
+        shard failures keep raising, exactly as before.
+    faults:
+        Chaos injection plan shared by the pool and the brownout mapper
+        (see :mod:`repro.runtime.faults`).  ``None`` consults the
+        ``REPRO_FAULT_PLAN`` environment variable.
+    clock:
+        Injectable monotonic time source for the breaker and watchdog.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -251,6 +286,10 @@ class ToneMapService:
         fused: bool = False,
         fused_threads: Optional[int] = None,
         plan=None,
+        shard_timeout_ms: Optional[float] = None,
+        breaker=None,
+        faults=None,
+        clock: Clock = MONOTONIC,
     ):
         params = params if params is not None else ToneMapParams()
         if batch_size < 1:
@@ -271,10 +310,32 @@ class ToneMapService:
             )
         if autoscale and shards is None:
             shards = 1
+        if shards is None and (
+            shard_timeout_ms is not None or breaker is not None
+        ):
+            raise ToneMapError(
+                "shard_timeout_ms and breaker require a sharded service "
+                "(construct with shards=N) — the in-process path has no "
+                "workers to watch or brown out from"
+            )
         self.params = params
         self.batch_size = batch_size
         self.shards = shards
         self.plan = plan
+        self._clock = clock
+        self._faults = resolve_injector(faults)
+        if breaker is None or isinstance(breaker, CircuitBreaker):
+            self._breaker: Optional[CircuitBreaker] = breaker
+        elif breaker is True:
+            self._breaker = CircuitBreaker(BreakerPolicy(), clock=clock)
+        elif isinstance(breaker, BreakerPolicy):
+            self._breaker = CircuitBreaker(breaker, clock=clock)
+        else:
+            raise ToneMapError(
+                "breaker must be True, a BreakerPolicy or a CircuitBreaker, "
+                f"got {type(breaker)!r}"
+            )
+        self._brownout_batches = 0
         self._pool: Optional[ShardPool] = None
         if shards is not None:
             self._pool = ShardPool(
@@ -288,6 +349,9 @@ class ToneMapService:
                 fused=fused,
                 fused_threads=fused_threads,
                 plan=plan,
+                default_timeout_ms=shard_timeout_ms,
+                faults=self._faults,
+                clock=clock,
             )
         local_params = params
         if fixed_config is not None:
@@ -295,7 +359,13 @@ class ToneMapService:
                 params, blur_fn=make_fixed_blur_fn(fixed_config)
             )
         self._mapper = BatchToneMapper(
-            local_params, fused=fused, threads=fused_threads, plan=plan
+            local_params,
+            fused=fused,
+            threads=fused_threads,
+            plan=plan,
+            # Share the pool's injector: slow-batch jitter keeps applying
+            # when the breaker browns batches out to this mapper.
+            faults=self._faults,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="tonemap"
@@ -360,12 +430,39 @@ class ToneMapService:
         if self._pool is not None:
             self._pool.observe(depth, p95_ms)
 
+    def _note_brownout(self) -> None:
+        with self._lock:
+            self._brownout_batches += 1
+
     def _run_admitted(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
-        """Execute one batch already counted by :meth:`_admit_batch`."""
+        """Execute one batch already counted by :meth:`_admit_batch`.
+
+        With a breaker configured, shard failures that exhausted the
+        pool's own retry budgets (:class:`~repro.errors.ShardCrashError`,
+        :class:`~repro.errors.ShardTimeoutError`) are recorded and the
+        batch browns out to the in-process mapper — bit-identical
+        outputs, so the caller sees latency, not an exception.  Without
+        a breaker those errors propagate exactly as before.
+        """
         start = time.perf_counter()
         try:
             if self._pool is not None:
-                outputs = self._pool.run_batch(images)
+                outputs = None
+                if self._breaker is not None and not self._breaker.allow_shard():
+                    self._note_brownout()
+                    outputs = self._mapper.run(images).outputs
+                else:
+                    try:
+                        outputs = self._pool.run_batch(images)
+                    except (ShardCrashError, ShardTimeoutError):
+                        if self._breaker is None:
+                            raise
+                        self._breaker.record_failure()
+                        self._note_brownout()
+                        outputs = self._mapper.run(images).outputs
+                    else:
+                        if self._breaker is not None:
+                            self._breaker.record_success()
                 pixels = sum(
                     int(im.pixels.shape[0]) * int(im.pixels.shape[1])
                     for im in images
@@ -380,12 +477,52 @@ class ToneMapService:
         self._finish_batch(start, len(images), pixels)
         return outputs
 
+    def _brownout_stack(self, in_lease: ArenaLease, count: int) -> ArenaLease:
+        """Run one arena stack on the in-process mapper (breaker open).
+
+        Same contract as ``pool.run_leased``: reads ``in_lease``, returns
+        a fresh output lease the caller owns.  The workers run the same
+        stack code, so the outputs stay bit-identical to the sharded
+        path — the brownout trades throughput, never correctness.
+        """
+        self._note_brownout()
+        run_shape = (count,) + tuple(in_lease.array.shape[1:])
+        out_lease = self._pool.arena.lease_output(run_shape, np.float32)
+        try:
+            self._mapper.run_stack(
+                in_lease.array[:count], out=out_lease.array
+            )
+        except BaseException:
+            out_lease.release()
+            raise
+        return out_lease
+
+    def _execute_stack(
+        self, in_lease: ArenaLease, count: int, timeout: Optional[float]
+    ) -> ArenaLease:
+        """Route one arena stack: shard pool, unless the breaker says no."""
+        if self._breaker is not None and not self._breaker.allow_shard():
+            return self._brownout_stack(in_lease, count)
+        try:
+            out_lease = self._pool.run_leased(
+                in_lease, count, timeout=timeout
+            )
+        except (ShardCrashError, ShardTimeoutError):
+            if self._breaker is None:
+                raise
+            self._breaker.record_failure()
+            return self._brownout_stack(in_lease, count)
+        if self._breaker is not None:
+            self._breaker.record_success()
+        return out_lease
+
     def _run_leased_admitted(
         self,
         in_lease: ArenaLease,
         count: int,
         names: Sequence[str],
         lease_results: bool = False,
+        timeout: Optional[float] = None,
     ) -> tuple:
         """Execute one arena-resident batch (zero-copy ingest path).
 
@@ -398,11 +535,14 @@ class ToneMapService:
         holding its own reference on the batch's output slab — the
         caller opted into the release contract, so the slab goes back to
         the ring when the last frame's handle is released.
+
+        ``timeout`` (seconds) is the batch's remaining execution budget,
+        forwarded to the pool's watchdog machinery.
         """
         start = time.perf_counter()
         try:
             try:
-                out_lease = self._pool.run_leased(in_lease, count)
+                out_lease = self._execute_stack(in_lease, count, timeout)
             finally:
                 in_lease.release()
             height = int(out_lease.array.shape[1])
@@ -436,6 +576,7 @@ class ToneMapService:
         count: int,
         names: Sequence[str],
         lease_results: bool = False,
+        timeout: Optional[float] = None,
     ) -> "Future[tuple]":
         """Queue an arena-resident stack: zero-copy batch admission.
 
@@ -465,6 +606,7 @@ class ToneMapService:
                 count,
                 list(names),
                 lease_results,
+                timeout,
             )
         except BaseException:
             self._abort_batch()
@@ -552,6 +694,11 @@ class ToneMapService:
         return self._pool
 
     @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The circuit breaker guarding the pool (``None`` when disabled)."""
+        return self._breaker
+
+    @property
     def workers(self) -> int:
         """Width of the batch thread pool (the ingestor's dispatch gate
         defaults to this, so it can keep every pool thread busy)."""
@@ -569,12 +716,29 @@ class ToneMapService:
                 latency_p99_ms=_percentile(ordered, 0.99),
             )
         if self._pool is not None:
+            with self._lock:
+                brownouts = self._brownout_batches
             snapshot = replace(
                 snapshot,
                 shards_active=self._pool.active_shards,
                 scale_ups=self._pool.scale_ups,
                 scale_downs=self._pool.scale_downs,
                 shard_respawns=self._pool.worker_respawns,
+                reliability=ReliabilityStats(
+                    hedged_replays=self._pool.hedged_replays,
+                    watchdog_kills=self._pool.watchdog_kills,
+                    breaker_state=(
+                        self._breaker.state
+                        if self._breaker is not None
+                        else ReliabilityStats().breaker_state
+                    ),
+                    breaker_transitions=(
+                        self._breaker.transitions
+                        if self._breaker is not None
+                        else 0
+                    ),
+                    brownout_batches=brownouts,
+                ),
             )
         return snapshot
 

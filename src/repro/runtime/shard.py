@@ -81,20 +81,25 @@ from __future__ import annotations
 import inspect
 import multiprocessing as mp
 import os
+import signal
 import sys
 import threading
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ShardCrashError, ToneMapError
+from repro.errors import ShardCrashError, ShardTimeoutError, ToneMapError
 from repro.image.hdr import HDRImage
 from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
 from repro.runtime.batch import BatchToneMapper
+from repro.runtime.clock import MONOTONIC, Clock
+from repro.runtime.faults import FaultInjector, resolve_injector
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
 
@@ -185,6 +190,7 @@ def _run_slab(
     hi: int,
     in_cacheable: bool,
     out_cacheable: bool,
+    fault: Optional[Tuple[str, float]] = None,
 ) -> tuple[int, int]:
     """Tone-map images ``lo:hi`` of the shared input stack in this worker.
 
@@ -192,7 +198,19 @@ def _run_slab(
     every exit path, and a failure before the output attach never leaks
     the input attachment.  Cached attachments are owned by the process
     and intentionally survive.
+
+    ``fault`` is an injected failure directive from the pool's
+    :class:`~repro.runtime.faults.FaultInjector` (``("kill", _)`` or
+    ``("hang", seconds)``), applied before any slab work so the failure
+    is clean: a killed worker never half-writes its slab, a hung one
+    holds the batch exactly like stuck I/O would.
     """
+    if fault is not None:
+        kind, value = fault
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            time.sleep(value)
     in_shm = _attach(in_name, in_cacheable)
     try:
         out_shm = _attach(out_name, out_cacheable)
@@ -220,6 +238,108 @@ def _slab_bounds(count: int, shards: int) -> list[tuple[int, int]]:
         bounds.append((lo, hi))
         lo = hi
     return bounds
+
+
+# ----------------------------------------------------------------------
+# Hung-shard watchdog
+# ----------------------------------------------------------------------
+class _WatchToken:
+    """One watched batch attempt: its kill deadline and whether it fired."""
+
+    __slots__ = ("deadline", "expired")
+
+    def __init__(self, deadline: float):
+        self.deadline = deadline
+        self.expired = False
+
+
+class _Watchdog:
+    """Kills the worker set when a watched batch overruns its budget.
+
+    A crashed worker announces itself (``BrokenProcessPool``); a *hung*
+    one is silent — ``future.result()`` would block forever.  The
+    watchdog turns hangs into crashes: :meth:`watch` registers a batch
+    attempt's deadline, and a single lazy daemon thread SIGKILLs the
+    current worker processes once any watched deadline passes, which
+    breaks the pool and lets ``run_leased``'s existing crash machinery
+    (quiesce → respawn → replay) take over.  The token's ``expired``
+    flag is how ``run_leased`` distinguishes a watchdog kill (timeout →
+    hedged replay budget) from an organic crash (crash retry budget).
+
+    Time comes from the injected clock, but wake-ups poll on a short
+    real-time interval — so tests driving a
+    :class:`~repro.runtime.clock.FakeClock` see the kill within
+    ``poll_s`` of advancing it, without the watchdog needing to know
+    the clock is fake.
+    """
+
+    def __init__(self, kill_fn, clock: Clock = MONOTONIC,
+                 poll_s: float = 0.005):
+        self._kill_fn = kill_fn
+        self._clock = clock
+        self._poll_s = poll_s
+        self._cond = threading.Condition(threading.Lock())
+        self._tokens: Set[_WatchToken] = set()
+        self._kills = 0
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def watch(self, deadline: float) -> _WatchToken:
+        """Register a batch attempt; kill the workers at ``deadline``."""
+        token = _WatchToken(deadline)
+        with self._cond:
+            if self._closed:
+                raise ToneMapError("watchdog is closed")
+            self._tokens.add(token)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="shard-watchdog", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+        return token
+
+    def cancel(self, token: _WatchToken) -> None:
+        """Stop watching ``token`` (the attempt finished on its own)."""
+        with self._cond:
+            self._tokens.discard(token)
+
+    @property
+    def kills(self) -> int:
+        """Watchdog firings — each one SIGKILLed the worker set once."""
+        with self._cond:
+            return self._kills
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._tokens.clear()
+            self._cond.notify()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                now = self._clock.now()
+                due = [t for t in self._tokens if t.deadline <= now]
+                for token in due:
+                    token.expired = True
+                    self._tokens.discard(token)
+                if due:
+                    self._kills += len(due)
+                elif self._tokens:
+                    self._cond.wait(self._poll_s)
+                    continue
+                else:
+                    self._cond.wait()
+                    continue
+            # Fire outside the lock: the kill walks executor state and
+            # must not hold up watch()/cancel() on the batch threads.
+            self._kill_fn()
 
 
 # ----------------------------------------------------------------------
@@ -348,7 +468,11 @@ class ShardPool:
     start_method:
         Multiprocessing start method; defaults to ``fork`` on Linux (cheap
         start-up, inherited imports) and ``spawn`` elsewhere (forking
-        after BLAS/framework threads start is unsafe on macOS).
+        after BLAS/framework threads start is unsafe on macOS).  Applies
+        to initial construction only — crash *respawns* always use
+        ``spawn``, because by then caller threads are live and forking a
+        multi-threaded process can deadlock the child (see
+        :meth:`_respawn`).
     autoscale:
         Enable the queue-depth / latency autoscaler.  ``max_shards``
         workers are started eagerly (all forked before any caller thread
@@ -384,6 +508,34 @@ class ShardPool:
         The per-process thread default stays **1** even under a plan —
         the plan's ``threads`` describes the in-process engine, and N
         workers × plan-threads would oversubscribe the host.
+    default_timeout_ms:
+        Execution budget applied to every :meth:`run_leased` call that
+        does not pass its own ``timeout``.  ``None`` (the default)
+        means no budget: a hung worker blocks forever, exactly the
+        pre-watchdog behaviour.
+    timeout_retries:
+        Hedged replays allowed after a watchdog kill before
+        :class:`~repro.errors.ShardTimeoutError` surfaces.  Independent
+        of ``run_leased``'s crash ``retries`` — a hang and a crash are
+        different budgets.
+    hang_factor:
+        When set, batches *without* an explicit budget get a derived
+        one: ``hang_factor × p95`` of recent batch durations (needs at
+        least five samples; floored at ``hang_min_ms``).  Off by
+        default — mixed batch sizes make a global p95 a poor hang
+        signal unless the operator opts in.
+    hang_min_ms:
+        Floor for the p95-derived threshold, so a burst of tiny batches
+        cannot arm a hair-trigger watchdog.
+    faults:
+        Chaos injection: a :class:`~repro.runtime.faults.FaultPlan`, a
+        spec string, or a shared
+        :class:`~repro.runtime.faults.FaultInjector`.  ``None`` consults
+        the ``REPRO_FAULT_PLAN`` environment variable; absent that, no
+        injection (zero overhead on the hot path).
+    clock:
+        Injectable monotonic time source (see
+        :mod:`repro.runtime.clock`); tests pass a ``FakeClock``.
 
     Use as a context manager or call :meth:`close` when done.
     """
@@ -402,6 +554,12 @@ class ShardPool:
         fused: bool = False,
         fused_threads: Optional[int] = None,
         plan=None,
+        default_timeout_ms: Optional[float] = None,
+        timeout_retries: int = 1,
+        hang_factor: Optional[float] = None,
+        hang_min_ms: float = 50.0,
+        faults=None,
+        clock: Clock = MONOTONIC,
     ):
         params = params if params is not None else ToneMapParams()
         if shards < 1:
@@ -479,26 +637,59 @@ class ShardPool:
         self._bytes_served = 0
         self._count_lock = threading.Lock()
         self._mp_context = mp.get_context(start_method)
+        # Crash respawns must not plain-fork a by-then-threaded parent;
+        # see _respawn.  A non-fork pool respawns with its own context.
+        if start_method != "fork":
+            self._respawn_context = self._mp_context
+        elif "forkserver" in mp.get_all_start_methods():
+            self._respawn_context = mp.get_context("forkserver")
+        else:  # pragma: no cover - fork implies posix, so forkserver exists
+            self._respawn_context = mp.get_context("spawn")
         self._respawn_lock = threading.Lock()
         self._generation = 0
         self._respawns = 0
+        if default_timeout_ms is not None and default_timeout_ms <= 0:
+            raise ToneMapError(
+                f"default_timeout_ms must be > 0, got {default_timeout_ms}"
+            )
+        if timeout_retries < 0:
+            raise ToneMapError(
+                f"timeout_retries must be >= 0, got {timeout_retries}"
+            )
+        if hang_factor is not None and hang_factor <= 0:
+            raise ToneMapError(
+                f"hang_factor must be > 0, got {hang_factor}"
+            )
+        self._clock = clock
+        self._default_timeout_s = (
+            None if default_timeout_ms is None else default_timeout_ms / 1e3
+        )
+        self._timeout_retries = timeout_retries
+        self._hang_factor = hang_factor
+        self._hang_min_s = hang_min_ms / 1e3
+        self._durations: deque = deque(maxlen=256)
+        self._hedged_replays = 0
+        self.faults: Optional[FaultInjector] = resolve_injector(faults)
+        self._reap_lock = threading.Lock()
+        self._watchdog = _Watchdog(self._kill_workers, clock=clock)
         self._executor = self._spawn_executor()
 
-    def _spawn_executor(self) -> ProcessPoolExecutor:
+    def _spawn_executor(
+        self, mp_context: Optional[mp.context.BaseContext] = None
+    ) -> ProcessPoolExecutor:
         """Start a full worker set and prove every initializer ran.
 
         One pending task per worker forces the executor to start all
         processes, and resolving the futures proves each initializer
         ran.  At construction no process is ever forked after caller
         threads exist — autoscaling only varies how many of these warm
-        workers a batch fans out across.  (A *respawn* after a worker
-        crash necessarily forks while service threads are live; the
-        workers only run NumPy + repro code, which tolerates that, and
-        the alternative — a permanently broken pool — is worse.)
+        workers a batch fans out across.  The warm-up wait is bounded:
+        a worker that cannot initialize must fail the pool loudly, not
+        wedge it.
         """
         executor = ProcessPoolExecutor(
             max_workers=self._workers,
-            mp_context=self._mp_context,
+            mp_context=mp_context if mp_context is not None else self._mp_context,
             initializer=_init_worker,
             initargs=(
                 self.params,
@@ -508,11 +699,15 @@ class ShardPool:
                 self.plan,
             ),
         )
-        for future in [
-            executor.submit(_worker_ready) for _ in range(self._workers)
-        ]:
-            if not future.result():  # pragma: no cover - defensive
-                raise ToneMapError("shard worker failed to initialize")
+        try:
+            for future in [
+                executor.submit(_worker_ready) for _ in range(self._workers)
+            ]:
+                if not future.result(timeout=120.0):  # pragma: no cover
+                    raise ToneMapError("shard worker failed to initialize")
+        except Exception:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
         return executor
 
     def _respawn(self, generation: int) -> None:
@@ -522,15 +717,60 @@ class ShardPool:
         observed the same crash race here, the first one rebuilds, the
         rest see the bumped generation and return — so one crash costs
         one respawn, not one per in-flight batch.
+
+        Respawned workers never use plain ``fork``, even when the pool
+        was built with it: a respawn necessarily creates processes
+        while service threads are live, and a child forked from a
+        multi-threaded parent can inherit an internal queue lock in the
+        held state and deadlock before it ever picks up work (observed
+        under chaos load as a pool that never comes back).  Respawns
+        use ``forkserver`` where available — its server process is
+        created by fork+exec (exec wipes inherited thread state) and
+        workers then fork from that single-threaded server; unlike
+        ``spawn`` it also never re-imports ``__main__``, so caller
+        scripts without an import guard survive a respawn.  ``fork``
+        remains the cheap default only for initial construction, where
+        no caller threads exist yet.
         """
         with self._respawn_lock:
             if self._generation != generation:
                 return  # another thread already replaced this executor
             broken = self._executor
-            self._executor = self._spawn_executor()
+            self._executor = self._spawn_executor(
+                mp_context=self._respawn_context
+            )
             self._generation += 1
             self._respawns += 1
-        broken.shutdown(wait=False)
+        self._shutdown_broken(broken)
+
+    def _shutdown_broken(self, executor: ProcessPoolExecutor) -> None:
+        """Shut a broken executor down exactly once, across racing batches.
+
+        Concurrent batches that all hit the same ``BrokenProcessPool``
+        each want to join the corpse before releasing their output
+        slabs — but ``ProcessPoolExecutor.shutdown`` is not safe to call
+        concurrently: both threads see the same live queue FDs and both
+        ``os.close`` them, and the second close lands *after* the OS has
+        recycled those fd numbers to the replacement executor's fresh
+        pipes.  That stray close poisons the new executor (its manager
+        thread dies on fd aliasing — ``KeyError: FD already
+        registered`` — and every pending future hangs forever).  One
+        thread wins the right to call ``shutdown``; the losers wait on
+        its completion event instead of double-closing.
+        """
+        with self._reap_lock:
+            event = getattr(executor, "_repro_reaped", None)
+            owner = event is None
+            if owner:
+                event = threading.Event()
+                executor._repro_reaped = event  # type: ignore[attr-defined]
+        if owner:
+            try:
+                executor.shutdown(wait=True)
+            finally:
+                event.set()
+        else:
+            event.wait()
 
     @property
     def worker_respawns(self) -> int:
@@ -547,6 +787,52 @@ class ShardPool:
         return [
             process.pid for process in self._executor._processes.values()
         ]
+
+    # ------------------------------------------------------------------
+    # Watchdog / hedged replay
+    # ------------------------------------------------------------------
+    def _kill_workers(self) -> None:
+        """SIGKILL the current worker set (watchdog fire path).
+
+        Racy by design: the executor may be mid-respawn or shutting
+        down, and a pid may have already exited.  Every failure mode is
+        benign — a worker we miss either belongs to a fresh generation
+        (innocent) or is already dead — so swallow them all rather than
+        let the watchdog thread die.
+        """
+        try:
+            pids = self.worker_pids()
+        except Exception:
+            return
+        for pid in pids:
+            if pid is None:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass
+
+    def _hang_threshold_s(self) -> Optional[float]:
+        """The p95-derived hang budget, or ``None`` while unarmed."""
+        if self._hang_factor is None:
+            return None
+        with self._count_lock:
+            samples = sorted(self._durations)
+        if len(samples) < 5:
+            return None
+        p95 = samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+        return max(self._hang_min_s, p95 * self._hang_factor)
+
+    @property
+    def watchdog_kills(self) -> int:
+        """Times the watchdog SIGKILLed the workers of an over-budget batch."""
+        return self._watchdog.kills
+
+    @property
+    def hedged_replays(self) -> int:
+        """Batches replayed on fresh workers after a watchdog kill."""
+        with self._count_lock:
+            return self._hedged_replays
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -603,6 +889,7 @@ class ShardPool:
         in_lease: ArenaLease,
         count: Optional[int] = None,
         retries: int = 1,
+        timeout: Optional[float] = None,
     ) -> ArenaLease:
         """Tone-map a stack already resident in the arena (zero-copy).
 
@@ -621,6 +908,19 @@ class ShardPool:
         so a replay is a pure re-dispatch.  A replay that crashes again
         raises :class:`~repro.errors.ShardCrashError`; either way no
         lease is leaked and the pool stays usable for later batches.
+
+        **Hang recovery.**  ``timeout`` (seconds; defaults to the
+        pool's ``default_timeout_ms``) is the execution budget of each
+        *attempt*.  An attempt still running at its budget — a *hung*
+        worker never breaks the pool by itself — is killed by the
+        watchdog, which converts the hang into the crash path above;
+        the batch is then *hedge-replayed* on the respawned workers
+        (with a fresh budget — a kill exactly at the deadline must
+        still leave the hedge worth taking) up to ``timeout_retries``
+        times before :class:`~repro.errors.ShardTimeoutError`
+        surfaces.  Without an explicit budget, an opt-in
+        ``hang_factor`` arms the watchdog at p95 × factor of recent
+        batch durations instead.
         """
         if in_lease.array is None:
             raise ToneMapError("cannot run a released arena lease")
@@ -632,17 +932,48 @@ class ShardPool:
                 f"count must be in [1, {shape[0]}], got {count}"
             )
         run_shape = (count,) + tuple(shape[1:])
+        if timeout is None:
+            timeout = self._default_timeout_s
         spare = retries
+        hedge_spare = self._timeout_retries
+        start = self._clock.now()
         while True:
             generation = self._generation
             executor = self._executor
-            out_lease = self.arena.lease_output(run_shape, np.float32)
+            directive = None
+            force_transient = False
+            if self.faults is not None:
+                index, kinds = self.faults.next_attempt()
+                if "slow" in kinds:
+                    self._clock.sleep(self.faults.plan.jitter_s(index))
+                force_transient = "exhaust" in kinds
+                directive = self.faults.worker_directive(kinds)
+            out_lease = self.arena.lease_output(
+                run_shape, np.float32, force_transient=force_transient
+            )
+            # Arm the watchdog for this attempt: each attempt gets the
+            # full budget (explicit timeout, else the p95-derived
+            # threshold when enabled) — a kill exactly at the deadline
+            # must still leave the hedged replay worth taking.
+            hang_s = (
+                timeout if timeout is not None else self._hang_threshold_s()
+            )
+            attempt_deadline = (
+                None if hang_s is None else self._clock.now() + hang_s
+            )
+            token = (
+                None
+                if attempt_deadline is None
+                else self._watchdog.watch(attempt_deadline)
+            )
             futures = []
             try:
                 # Plain loop, not a comprehension: if a submit raises midway
                 # (pool shutting down), the futures already submitted must
                 # stay tracked so the except path can quiesce them.
-                for lo, hi in _slab_bounds(count, self._active):
+                for slab_index, (lo, hi) in enumerate(
+                    _slab_bounds(count, self._active)
+                ):
                     futures.append(
                         executor.submit(
                             _run_slab,
@@ -653,6 +984,7 @@ class ShardPool:
                             hi,
                             in_lease.cacheable,
                             out_lease.cacheable,
+                            directive if slab_index == 0 else None,
                         )
                     )
                 for future in futures:
@@ -667,14 +999,34 @@ class ShardPool:
                 # a straggler still writes it would hand a
                 # concurrently-mutating segment to the replay or a
                 # neighbouring batch — silent cross-batch corruption.
+                if token is not None:
+                    self._watchdog.cancel(token)
                 for future in futures:
                     future.cancel()
                 wait(futures)
-                executor.shutdown(wait=True)
+                self._shutdown_broken(executor)
                 out_lease.release()
                 stale = self._generation != generation
                 self._respawn(generation)
-                if not stale:
+                if token is not None and token.expired:
+                    # The watchdog killed this attempt: a timeout, not an
+                    # organic crash — spend the hedge budget, not the
+                    # crash budget.
+                    now = self._clock.now()
+                    used = self._timeout_retries - hedge_spare
+                    if hedge_spare <= 0:
+                        raise ShardTimeoutError(
+                            f"{count}-frame batch exceeded its execution "
+                            f"budget ({(now - start) * 1e3:.0f} ms elapsed"
+                            f", {used} hedged replay(s)) — workers killed "
+                            "by the shard watchdog",
+                            elapsed_ms=(now - start) * 1e3,
+                            retries=used,
+                        ) from exc
+                    hedge_spare -= 1
+                    with self._count_lock:
+                        self._hedged_replays += 1
+                elif not stale:
                     # Only fresh-generation crashes consume a retry: a
                     # batch that merely raced a concurrent respawn (its
                     # executor was already replaced) replays for free.
@@ -693,11 +1045,15 @@ class ShardPool:
                 # input), and release would recycle it to a concurrent batch
                 # — silent cross-batch corruption.  Cancel what hasn't
                 # started, wait out what has.
+                if token is not None:
+                    self._watchdog.cancel(token)
                 for future in futures:
                     future.cancel()
                 wait(futures)
                 out_lease.release()
                 raise
+            if token is not None:
+                self._watchdog.cancel(token)
             break
         # Batches complete concurrently on the service's pool threads;
         # the gate benchmarks divide by these, so no lost increments.
@@ -705,6 +1061,7 @@ class ShardPool:
             self._batches += 1
             self._frames += count
             self._bytes_served += out_lease.nbytes
+            self._durations.append(self._clock.now() - start)
         return out_lease
 
     def run_stack(
@@ -791,8 +1148,16 @@ class ShardPool:
             )
 
     def close(self) -> None:
-        """Shut the workers down (waiting for running slabs), then the arena."""
-        self._executor.shutdown(wait=True)
+        """Shut the workers down (waiting for running slabs), then the arena.
+
+        The watchdog outlives the executor shutdown on purpose: if a
+        hung batch is still in flight, ``shutdown(wait=True)`` only
+        returns once the watchdog frees it.  Shutdown goes through the
+        exactly-once guard — a crash-handling batch may be reaping this
+        same executor concurrently (see :meth:`_shutdown_broken`).
+        """
+        self._shutdown_broken(self._executor)
+        self._watchdog.close()
         if self._owns_arena:
             self.arena.close()
 

@@ -178,6 +178,21 @@ class TestCommittedBaseline:
         assert (
             "test_planner_dispatch_1024::planner_matches_manual" in strict
         )
+        # The PR 8 chaos-recovery acceptance bar: all three counters are
+        # machine-independent (a deterministic fault plan always loses
+        # zero frames, always kills the hung worker, always browns the
+        # killed batch out) and must stay strict.  frames_lost gates as
+        # a max (exactly zero); the other two gate as mins so a
+        # silently-disabled watchdog or breaker — which would zero the
+        # counters while the outputs still pass — fails the build.
+        chaos = baseline["metrics"]["test_chaos_recovery_small::frames_lost"]
+        assert chaos["direction"] == "max" and chaos["value"] == 0.0
+        assert "test_chaos_recovery_small::frames_lost" in strict
+        assert "test_chaos_recovery_small::watchdog_kills" in strict
+        assert "test_chaos_recovery_small::brownout_batches" in strict
+        for key in ("watchdog_kills", "brownout_batches"):
+            spec = baseline["metrics"][f"test_chaos_recovery_small::{key}"]
+            assert spec["direction"] == "min" and spec["value"] >= 1.0
 
     def test_tracks_the_emitted_data_plane_metrics(self):
         # Guards the gate's wiring from the tier-1 suite (benchmark-side
@@ -202,6 +217,9 @@ class TestCommittedBaseline:
             "test_planner_dispatch_1024::planner_matches_manual",
             "test_planner_dispatch_1024::pixels_per_sec",
             "test_planner_dispatch_1024::speedup_vs_manual",
+            "test_chaos_recovery_small::frames_lost",
+            "test_chaos_recovery_small::watchdog_kills",
+            "test_chaos_recovery_small::brownout_batches",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"

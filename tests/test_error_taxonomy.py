@@ -1,0 +1,92 @@
+"""The runtime error taxonomy must survive a process boundary.
+
+Shard workers, chaos harnesses, and multi-process callers all ship
+runtime exceptions through pickles (``concurrent.futures`` marshals a
+raised exception back to the submitting process).  An exception whose
+``__init__`` takes extra arguments silently breaks that contract unless
+its state round-trips — the classic failure mode is
+``TypeError: __init__() missing 1 required positional argument`` at
+*unpickle* time, which masks the real error.  Every runtime error is
+therefore pickled, crossed through a real spawned process, re-raised
+there, and checked attribute-for-attribute on the way back.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+    ShardCrashError,
+    ShardTimeoutError,
+    ToneMapError,
+)
+
+# One representative instance per runtime error, constructed the way the
+# runtime actually constructs them (keyword attributes included).
+RUNTIME_ERRORS = [
+    ToneMapError("bad sigma"),
+    ServiceOverloadedError("queue full", tenant="heavy", shed_count=3),
+    ShardCrashError("workers died twice"),
+    DeadlineExceededError(
+        "frame expired", tenant="light", elapsed_ms=72.5, deadline_ms=50.0
+    ),
+    ShardTimeoutError(
+        "batch hung past budget", tenant="heavy", elapsed_ms=2040.0, retries=1
+    ),
+]
+
+_IDS = [type(err).__name__ for err in RUNTIME_ERRORS]
+
+
+def _reraise(payload: bytes) -> bytes:
+    """Runs in the child: unpickle, raise, catch, pickle back."""
+    error = pickle.loads(payload)
+    try:
+        raise error
+    except ReproError as caught:
+        return pickle.dumps(caught)
+
+
+def _assert_equivalent(original, restored):
+    assert type(restored) is type(original)
+    assert str(restored) == str(original)
+    assert restored.args == original.args
+    assert vars(restored) == vars(original)
+
+
+@pytest.mark.parametrize("error", RUNTIME_ERRORS, ids=_IDS)
+def test_round_trips_in_process(error):
+    _assert_equivalent(error, pickle.loads(pickle.dumps(error)))
+
+
+def test_every_error_crosses_a_real_process_boundary():
+    # One executor for all errors: spawn start-up dominates, and the
+    # point is the boundary, not per-error isolation.
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        for error in RUNTIME_ERRORS:
+            returned = pool.submit(_reraise, pickle.dumps(error)).result(
+                timeout=120
+            )
+            _assert_equivalent(error, pickle.loads(returned))
+
+
+def test_future_propagation_preserves_attributes():
+    # The exact path the runtime uses: a child raises, concurrent.futures
+    # pickles the exception into the parent's future.
+    error = ShardTimeoutError("hung", tenant="t0", elapsed_ms=10.0, retries=2)
+
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(_raise_directly, pickle.dumps(error))
+        with pytest.raises(ShardTimeoutError) as excinfo:
+            future.result(timeout=120)
+    assert excinfo.value.tenant == "t0"
+    assert excinfo.value.elapsed_ms == 10.0
+    assert excinfo.value.retries == 2
+
+
+def _raise_directly(payload: bytes) -> None:
+    raise pickle.loads(payload)

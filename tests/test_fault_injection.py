@@ -12,14 +12,17 @@ their first slab) and assert the recovery contract of
 * the autoscaler keeps operating across a respawn;
 * futures handed out by the ingestor always resolve — no hung callers.
 
+Persistent-crash injection goes through the first-class
+:class:`~repro.runtime.FaultPlan` (seeded, in-worker SIGKILL at chosen
+batch indices) rather than monkeypatching the slab task — the same
+mechanism the chaos suite and the ``--fault-plan`` CLI flag use.
 Worker-kill tests fork fresh pools per test and are marked ``fault`` so
-the nightly CI job can select them explicitly (they run in the default
+the per-PR CI job can select them explicitly (they run in the default
 suite too — each is sub-second).
 """
 
 import os
 import signal
-import sys
 import threading
 import time
 
@@ -28,18 +31,19 @@ import pytest
 
 from repro.errors import ShardCrashError
 from repro.image.synthetic import SceneParams, make_scene
-from repro.runtime import BatchToneMapper, ShardPool, ToneMapIngestor, ToneMapService
-from repro.runtime import shard as shard_module
+from repro.runtime import (
+    BatchToneMapper,
+    FaultPlan,
+    ShardPool,
+    ToneMapIngestor,
+    ToneMapService,
+)
 from repro.tonemap.pipeline import ToneMapParams
 
 pytestmark = pytest.mark.fault
 
 PARAMS = ToneMapParams(sigma=2.0, radius=6)
 SHM_DIR = "/dev/shm"
-
-needs_fork = pytest.mark.skipif(
-    sys.platform != "linux", reason="fork-based worker injection is Linux-only"
-)
 
 
 def shm_names():
@@ -53,9 +57,22 @@ def _stack(frames=4, size=64, seed=3):
     return rng.uniform(0.0, 1.0, (frames, size, size)).astype(np.float32)
 
 
-def _suicide_slab(*args, **kwargs):  # pragma: no cover - dies in the worker
-    """Replacement slab task: the worker SIGKILLs itself immediately."""
-    os.kill(os.getpid(), signal.SIGKILL)
+def _wait_for_corpse(pool, timeout=30.0):
+    """Block until the pool's executor has noticed a killed worker.
+
+    SIGKILL is asynchronous: with two workers the survivor can drain an
+    entire batch before the executor's manager thread reaps the corpse,
+    in which case the next ``run_leased`` succeeds *without* a respawn
+    and ``worker_respawns`` assertions race (seen under CPU contention).
+    The executor flags itself broken the moment it reaps — wait for
+    that before dispatching the batch that must trip over the corpse.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pool._executor._broken:
+            return
+        time.sleep(0.005)
+    pytest.fail("executor never noticed the killed worker")
 
 
 class TestWorkerKillRecovery:
@@ -68,6 +85,7 @@ class TestWorkerKillRecovery:
             lease.array[:] = stack
             pool.run_leased(lease).release()  # warm, known-good
             os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            _wait_for_corpse(pool)
             # The next batch trips over the corpse, respawns, replays —
             # and the caller never notices.
             out = pool.run_leased(lease)
@@ -111,6 +129,7 @@ class TestWorkerKillRecovery:
             thread.start()
             assert first_done.wait(timeout=60)
             os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            _wait_for_corpse(pool)
             killed.set()
             thread.join(timeout=120)
             assert not thread.is_alive(), "caller hung after worker kill"
@@ -124,24 +143,21 @@ class TestWorkerKillRecovery:
             assert pool.worker_respawns >= 1
             assert pool.arena.stats.leases_active == 0
 
-    @needs_fork
-    def test_persistent_crash_raises_shard_crash_error(self, monkeypatch):
-        # Workers forked while `_run_slab` is patched suicide on every
-        # slab: the replay crashes too, which must surface as
-        # ShardCrashError (bounded retries), not an infinite respawn
-        # loop or a hang.
-        monkeypatch.setattr(shard_module, "_run_slab", _suicide_slab)
+    def test_persistent_crash_raises_shard_crash_error(self):
+        # A FaultPlan SIGKILLs a worker on batch attempts 0 and 1: the
+        # replay crashes too, which must surface as ShardCrashError
+        # (bounded retries), not an infinite respawn loop or a hang.
         stack = _stack()
-        with ShardPool(PARAMS, shards=2, start_method="fork") as pool:
+        plan = FaultPlan(kill_batches=(0, 1))
+        with ShardPool(PARAMS, shards=2, faults=plan) as pool:
             lease = pool.lease_input(stack.shape)
             lease.array[:] = stack
             with pytest.raises(ShardCrashError):
                 pool.run_leased(lease)
             assert pool.worker_respawns == 2  # initial crash + failed replay
             assert pool.arena.stats.leases_active == 1  # only the input
-            # Heal the workload: workers respawned after the patch is
-            # undone run the real slab task again.
-            monkeypatch.undo()
+            # The plan's kill indices are exhausted: attempt 2 runs the
+            # workload clean on the respawned workers.
             out = pool.run_leased(lease)
             want = BatchToneMapper(PARAMS).run_stack(stack).astype(np.float32)
             np.testing.assert_array_equal(out.array, want)
@@ -189,6 +205,7 @@ class TestServiceAndIngestorFaultPaths:
                         os.kill(
                             service.pool.worker_pids()[0], signal.SIGKILL
                         )
+                        _wait_for_corpse(service.pool)
                 outcomes = [f.result(timeout=120) for f in futures]
             # Replay absorbed the crash: every frame got a real result.
             assert all(out is not None for out in outcomes)
@@ -211,7 +228,7 @@ class TestServiceAndIngestorFaultPaths:
             pool = service.pool
             real = pool.run_leased
 
-            def always_crashing(in_lease, count=None, retries=1):
+            def always_crashing(in_lease, count=None, retries=1, **kwargs):
                 raise ShardCrashError("injected: workers crash persistently")
 
             pool.run_leased = always_crashing
