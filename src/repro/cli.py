@@ -149,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
              "fixed-point glue)",
     )
     batch.add_argument(
+        "--hosts", default=None, metavar="N|ADDR[,ADDR...]",
+        help="route batches across shard hosts instead of local worker "
+             "processes: an integer spawns that many localhost host "
+             "processes (2 workers each), a comma-separated "
+             "host:port list connects to already-running "
+             "'serve-host' processes; mutually exclusive with "
+             "--shards/--autoscale",
+    )
+    batch.add_argument(
         "--autoscale", action="store_true",
         help="grow/shrink the active shard set from queue-depth and "
              "p95-latency signals (implies a shard pool)",
@@ -225,7 +234,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="chaos injection plan, e.g. 'kill@2,hang%%0.05,seed=7' "
-             "(kinds: kill/hang/exhaust/slow; @ lists batch indices, "
+             "(kinds: kill/hang/exhaust/slow and, with --hosts, "
+             "partition/slow-link/host-loss; @ lists batch indices, "
              "%% a probability); also read from REPRO_FAULT_PLAN",
     )
     batch.add_argument(
@@ -237,6 +247,51 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "-o", "--output-dir", type=Path, default=None,
         help="write tone-mapped outputs here as .ppm",
+    )
+
+    serve = sub.add_parser(
+        "serve-host",
+        help="run one shard host serving the multi-host wire protocol "
+             "(pair with 'batch --hosts host:port,...')",
+    )
+    serve.add_argument(
+        "--bind", default="127.0.0.1",
+        help="address to listen on (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound address is "
+             "printed on startup)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes on this host (default 2)",
+    )
+    serve.add_argument(
+        "--fixed", action="store_true",
+        help="use the bit-accurate 16-bit fixed-point blur",
+    )
+    serve.add_argument(
+        "--fused", action="store_true",
+        help="run batches through the fused band engine",
+    )
+    serve.add_argument(
+        "--sigma", type=float, default=None,
+        help="Gaussian mask sigma (default: the paper's 16)",
+    )
+    serve.add_argument(
+        "--arena-slots", type=int, default=4,
+        help="shared-memory arena depth per size class (default 4)",
+    )
+    serve.add_argument(
+        "--shard-timeout-ms", type=float, default=None,
+        help="per-attempt batch execution budget on this host's pool "
+             "(arms the shard watchdog)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="chaos injection plan for this host's worker pool "
+             "(kinds: kill/hang/exhaust/slow)",
     )
 
     planner = sub.add_parser(
@@ -384,14 +439,31 @@ def run_batch(args) -> None:
         )
     if args.breaker is not None and args.breaker < 1:
         raise SystemExit(f"--breaker must be >= 1, got {args.breaker}")
+    hosts = None
+    if args.hosts is not None:
+        if args.shards is not None or args.autoscale:
+            raise SystemExit(
+                "--hosts and --shards/--autoscale are mutually exclusive "
+                "— each host runs its own worker pool"
+            )
+        if args.hosts.isdigit():
+            hosts = int(args.hosts)
+            if hosts < 1:
+                raise SystemExit(f"--hosts must be >= 1, got {hosts}")
+        else:
+            hosts = [part.strip() for part in args.hosts.split(",") if part.strip()]
+            if not hosts:
+                raise SystemExit(f"--hosts: no addresses in {args.hosts!r}")
     if (
         (args.shard_timeout_ms is not None or args.breaker is not None)
         and args.shards is None
+        and hosts is None
         and not args.autoscale
     ):
         raise SystemExit(
             "--shard-timeout-ms/--breaker require a shard pool "
-            "(--shards or --autoscale) — they guard the worker processes"
+            "(--shards, --autoscale or --hosts) — they guard the "
+            "worker processes"
         )
     fault_plan = None
     if args.fault_plan is not None:
@@ -460,10 +532,11 @@ def run_batch(args) -> None:
         or args.deadline_ms is not None
     )
     shards = args.shards
-    if args.lease_results and shards is None and not args.autoscale:
+    if args.lease_results and shards is None and hosts is None \
+            and not args.autoscale:
         raise SystemExit(
-            "--lease-results requires a shard pool (--shards or "
-            "--autoscale) — the handles lease from its arena"
+            "--lease-results requires a shard pool (--shards, "
+            "--autoscale or --hosts) — the handles lease from its arena"
         )
     autoscale_policy = None
     if not args.autoscale:
@@ -473,10 +546,10 @@ def run_batch(args) -> None:
             raise SystemExit(
                 "--min-shards/--max-shards require --autoscale"
             )
-        if args.arena_slots is not None and shards is None:
+        if args.arena_slots is not None and shards is None and hosts is None:
             raise SystemExit(
-                "--arena-slots requires a shard pool (--shards or "
-                "--autoscale)"
+                "--arena-slots requires a shard pool (--shards, "
+                "--autoscale or --hosts)"
             )
     else:
         # --min-shards is the shrink floor (it may sit below the initial
@@ -508,6 +581,7 @@ def run_batch(args) -> None:
         max_workers=args.workers,
         batch_size=args.batch_size,
         shards=shards,
+        hosts=hosts,
         fixed_config=fixed_config,
         autoscale=args.autoscale,
         autoscale_policy=autoscale_policy,
@@ -592,7 +666,16 @@ def run_batch(args) -> None:
         print(f"  engine        : fused band dataflow ({threads} threads)")
     print(f"  mode          : {mode}")
     print(f"  batch size    : {args.batch_size}")
-    print(f"  shards        : {shards or 1} process(es)")
+    if hosts is not None:
+        label = (
+            f"{hosts} local host(s)" if isinstance(hosts, int)
+            else ", ".join(hosts)
+        )
+        print(f"  hosts         : {label}")
+        if stats.reliability.hosts_lost:
+            print(f"  hosts lost    : {stats.reliability.hosts_lost}")
+    else:
+        print(f"  shards        : {shards or 1} process(es)")
     if args.autoscale:
         print(f"  autoscale     : active {stats.shards_active} "
               f"(scale-ups {stats.scale_ups}, "
@@ -652,6 +735,58 @@ def run_batch(args) -> None:
         print(f"  outputs written to {args.output_dir}/")
 
 
+def run_serve_host(args) -> int:
+    """The ``serve-host`` subcommand: serve batches over the wire.
+
+    Runs one :class:`~repro.runtime.hostpool.HostServer` in the
+    foreground until interrupted; prints the bound ``host:port`` so a
+    ``batch --hosts`` client (possibly on another machine) can connect.
+    """
+    from repro.errors import ToneMapError
+    from repro.runtime.hostpool import HostServer
+    from repro.tonemap.fixed_blur import FixedBlurConfig
+    from repro.tonemap.pipeline import ToneMapParams
+
+    if args.fused and args.fixed:
+        raise SystemExit(
+            "--fused is float-only (the fused engine is the blur); "
+            "drop --fused or --fixed"
+        )
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_timeout_ms is not None and args.shard_timeout_ms <= 0:
+        raise SystemExit(
+            f"--shard-timeout-ms must be > 0, got {args.shard_timeout_ms}"
+        )
+    params = (
+        ToneMapParams() if args.sigma is None
+        else ToneMapParams(sigma=args.sigma)
+    )
+    try:
+        server = HostServer(
+            params=params,
+            shards=args.shards,
+            fixed_config=FixedBlurConfig() if args.fixed else None,
+            fused=args.fused,
+            arena_slots=args.arena_slots,
+            default_timeout_ms=args.shard_timeout_ms,
+            faults=args.fault_plan,
+            bind=args.bind,
+            port=args.port,
+        )
+    except (ToneMapError, OSError) as exc:
+        raise SystemExit(f"serve-host: {exc}") from exc
+    host, port = server.address
+    print(f"serving {args.shards} shard(s) on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def run_planner(args) -> int:
     """The ``planner`` subcommand: explain a plan or calibrate the host."""
     if args.planner_command == "calibrate":
@@ -698,6 +833,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "planner":
         return run_planner(args)
+    if args.command == "serve-host":
+        return run_serve_host(args)
     flow = make_paper_flow()
 
     if args.command == "table2":

@@ -100,6 +100,29 @@ class DeadlineExceededError(ReproError):
         self.deadline_ms = deadline_ms
 
 
+class WireProtocolError(ReproError):
+    """A multi-host wire frame could not be sent or decoded.
+
+    Raised by :mod:`repro.runtime.net` when a peer speaks the wrong
+    protocol (bad magic/version), a frame header is malformed or
+    oversized, or the connection dies mid-frame.  The host pool treats
+    it like a connection loss: the victim host is marked dead and the
+    batch replays on another host.
+    """
+
+
+class HostUnavailableError(ShardCrashError):
+    """No shard host is left to serve a batch.
+
+    Raised by :class:`~repro.runtime.hostpool.HostPool` when every host
+    is dead (or partitioned away) and the replay budget cannot buy a
+    live one.  Subclasses :class:`ShardCrashError` on purpose: the
+    service's circuit breaker already browns that error out to the
+    in-process mapper, and total host loss deserves exactly the same
+    fallback.
+    """
+
+
 class ShardTimeoutError(ReproError):
     """A sharded batch exceeded its execution budget and replay failed.
 

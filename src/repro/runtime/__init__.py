@@ -65,6 +65,21 @@ honestly slower).  All of it is observable as
 (``REPRO_FAULT_PLAN`` / CLI ``--fault-plan``), with time injectable
 everywhere through :mod:`repro.runtime.clock`.
 
+The **multi-host tier** (PR 9) scales the same stack across machines:
+:class:`~repro.runtime.hostpool.HostServer` serves a host's
+``ShardPool`` over the length-prefixed zero-copy wire protocol in
+:mod:`repro.runtime.net` (scatter-gather ``sendmsg`` / ``recv_into``
+straight between arena slots and the socket, every staging byte
+counted in :class:`~repro.runtime.net.NetStats`), and
+:class:`~repro.runtime.hostpool.HostPool` routes batches across N such
+hosts with the reliability machinery generalized one level up — host
+respawn, replay-on-another-host, hedged timeouts, and breaker brownout
+when every host is gone
+(:class:`~repro.errors.HostUnavailableError`).  ``ToneMapService(
+hosts=2)`` spawns a local fleet; ``repro-experiments serve-host``
+runs one serving host; chaos plans gain ``partition`` / ``slow-link``
+/ ``host-loss`` kinds.
+
 Wired into the CLI as ``repro-experiments batch`` (``--shards``,
 ``--max-delay-ms``, ``--queue-limit``, ``--policy``,
 ``--tenant-weights``, ``--per-tenant-queue-limit``,
@@ -78,9 +93,11 @@ run and read it.
 
 from repro.errors import (
     DeadlineExceededError,
+    HostUnavailableError,
     ServiceOverloadedError,
     ShardCrashError,
     ShardTimeoutError,
+    WireProtocolError,
 )
 from repro.runtime.arena import ArenaLease, ArenaStats, ResultHandle, ShmArena
 from repro.runtime.batch import BatchToneMapper, BatchToneMapResult
@@ -91,6 +108,8 @@ from repro.runtime.fused import (
     FusedStats,
     FusedToneMapPlan,
 )
+from repro.runtime.hostpool import HostPool, HostServer
+from repro.runtime.net import NetStats
 from repro.runtime.ingest import (
     BackpressurePolicy,
     DeficitRoundRobin,
@@ -129,7 +148,11 @@ __all__ = [
     "FusedExecutor",
     "FusedStats",
     "FusedToneMapPlan",
+    "HostPool",
+    "HostServer",
+    "HostUnavailableError",
     "MonotonicClock",
+    "NetStats",
     "ReliabilityStats",
     "ResultHandle",
     "ServiceOverloadedError",
@@ -143,4 +166,5 @@ __all__ = [
     "TenantStats",
     "ToneMapIngestor",
     "ToneMapService",
+    "WireProtocolError",
 ]

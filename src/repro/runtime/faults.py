@@ -28,6 +28,25 @@ Four fault kinds, mirroring the real failure modes:
     deadline shedding and latency-sensitive assertions without killing
     anything.
 
+Three more kinds cover the **network hop** of the multi-host tier
+(:mod:`repro.runtime.hostpool` consumes them; they are inert on a
+single-host :class:`~repro.runtime.shard.ShardPool`):
+
+``partition``
+    The victim dispatch's connection to its host is severed mid-flight
+    — the network-partition scenario: the host is healthy but this
+    client cannot reach it, so the batch must replay on another host.
+``slow-link``
+    The dispatch's send is delayed by the seeded jitter — a congested
+    or lossy link, distinct from ``slow`` so a plan can jitter the
+    wire without jittering in-process dispatches (``slow_link_*``
+    field names; the spec syntax accepts both ``slow-link`` and
+    ``slow_link``).
+``host-loss``
+    The victim dispatch's serving host process is SIGKILLed — the
+    machine-died scenario host respawn and hedged "another host"
+    replay exist for (``host_loss_*`` field names).
+
 Faults are keyed by **dispatch attempt index**: the pool consumes one
 index per ``run_leased`` attempt (replays included), so ``kill@4``
 kills exactly one attempt and its replay runs clean, while
@@ -54,8 +73,16 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import ToneMapError
 
-#: The injectable fault kinds, in spec/display order.
-FAULT_KINDS = ("kill", "hang", "exhaust", "slow")
+#: The injectable fault kinds, in spec/display order.  The last three
+#: are the network kinds consumed by the multi-host tier; field names
+#: use underscores (``slow_link_batches``), spec tokens accept either
+#: ``slow-link`` or ``slow_link``.
+FAULT_KINDS = (
+    "kill", "hang", "exhaust", "slow", "partition", "slow_link", "host_loss",
+)
+
+#: The kinds that act on the networked hop (inert on a single-host pool).
+NETWORK_FAULT_KINDS = ("partition", "slow_link", "host_loss")
 
 #: Environment variable :func:`FaultPlan.from_env` reads.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -66,6 +93,9 @@ _KIND_SALT = {
     "hang": 0x85EBCA77,
     "exhaust": 0xC2B2AE3D,
     "slow": 0x27D4EB2F,
+    "partition": 0x165667B1,
+    "slow_link": 0xD3A2646C,
+    "host_loss": 0xFD7046C5,
 }
 
 
@@ -90,11 +120,13 @@ class FaultPlan:
     seed:
         Seeds every probabilistic draw and the jitter magnitudes; two
         runs with the same plan observe identical fault schedules.
-    kill_batches / hang_batches / exhaust_batches / slow_batches:
+    kill_batches / hang_batches / exhaust_batches / slow_batches /
+    partition_batches / slow_link_batches / host_loss_batches:
         Dispatch-attempt indices (0-based, replays included) that
         suffer the respective fault.
     kill_probability / hang_probability / exhaust_probability /
-    slow_probability:
+    slow_probability / partition_probability / slow_link_probability /
+    host_loss_probability:
         Per-attempt fault probability in ``[0, 1]``, drawn
         deterministically from ``seed`` and the attempt index.
     hang_ms:
@@ -102,7 +134,7 @@ class FaultPlan:
         budget under test — a "hang" that finishes before the watchdog
         fires is just a slow batch.
     jitter_ms:
-        Upper bound of the ``slow`` dispatch delay.
+        Upper bound of the ``slow`` and ``slow-link`` dispatch delays.
     """
 
     seed: int = 0
@@ -110,10 +142,16 @@ class FaultPlan:
     hang_batches: Tuple[int, ...] = ()
     exhaust_batches: Tuple[int, ...] = ()
     slow_batches: Tuple[int, ...] = ()
+    partition_batches: Tuple[int, ...] = ()
+    slow_link_batches: Tuple[int, ...] = ()
+    host_loss_batches: Tuple[int, ...] = ()
     kill_probability: float = 0.0
     hang_probability: float = 0.0
     exhaust_probability: float = 0.0
     slow_probability: float = 0.0
+    partition_probability: float = 0.0
+    slow_link_probability: float = 0.0
+    host_loss_probability: float = 0.0
     hang_ms: float = 30000.0
     jitter_ms: float = 2.0
 
@@ -161,12 +199,18 @@ class FaultPlan:
                 kinds.add(kind)
         return frozenset(kinds)
 
-    def jitter_s(self, index: int) -> float:
-        """The seeded ``slow`` delay (seconds) for attempt ``index``."""
+    def jitter_s(self, index: int, kind: str = "slow") -> float:
+        """The seeded delay (seconds) for attempt ``index``.
+
+        ``kind`` selects the RNG stream: ``"slow"`` (in-process and
+        shard-dispatch jitter) or ``"slow_link"`` (wire-send jitter) —
+        the two streams are independent, so a plan jittering both draws
+        different magnitudes.
+        """
         if self.jitter_ms <= 0.0:
             return 0.0
         return (
-            _rng(self.seed, index, "slow").uniform(0.5, 1.0)
+            _rng(self.seed, index, kind).uniform(0.5, 1.0)
             * self.jitter_ms
             / 1e3
         )
@@ -194,7 +238,7 @@ class FaultPlan:
             try:
                 if "@" in token:
                     kind, _, indices = token.partition("@")
-                    kind = kind.strip()
+                    kind = kind.strip().replace("-", "_")
                     if kind not in FAULT_KINDS:
                         raise ValueError(f"unknown fault kind {kind!r}")
                     kwargs[f"{kind}_batches"] = tuple(
@@ -202,7 +246,7 @@ class FaultPlan:
                     )
                 elif "%" in token:
                     kind, _, probability = token.partition("%")
-                    kind = kind.strip()
+                    kind = kind.strip().replace("-", "_")
                     if kind not in FAULT_KINDS:
                         raise ValueError(f"unknown fault kind {kind!r}")
                     kwargs[f"{kind}_probability"] = float(probability)
@@ -226,14 +270,15 @@ class FaultPlan:
         """The spec string round-tripping through :meth:`from_spec`."""
         tokens = []
         for kind in FAULT_KINDS:
+            display = kind.replace("_", "-")
             batches = getattr(self, f"{kind}_batches")
             if batches:
                 tokens.append(
-                    f"{kind}@" + ":".join(str(i) for i in batches)
+                    f"{display}@" + ":".join(str(i) for i in batches)
                 )
             probability = getattr(self, f"{kind}_probability")
             if probability > 0.0:
-                tokens.append(f"{kind}%{probability:g}")
+                tokens.append(f"{display}%{probability:g}")
         defaults = {f.name: f.default for f in fields(self)}
         for name in ("seed", "hang_ms", "jitter_ms"):
             value = getattr(self, name)

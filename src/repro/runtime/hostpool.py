@@ -1,0 +1,1272 @@
+"""Multi-host data plane: serving hosts and the routing host pool.
+
+:class:`~repro.runtime.shard.ShardPool` scales the paper's accelerator
+model across the *cores* of one machine; this module scales it across
+*machines*.  The analogy stays the same one the single-host stack was
+built on — the batch hop to a worker is the CPU→FPGA AXI transfer — but
+across hosts the hop is a real network transfer, so it goes through the
+length-prefixed scatter-gather protocol in :mod:`repro.runtime.net`:
+one kernel-mediated copy per direction, zero userspace staging, and
+every fallback byte counted in ``DataPlaneStats.net.bytes_staged``.
+
+Two classes:
+
+* :class:`HostServer` — the serving side.  One per host process: it
+  owns a :class:`~repro.runtime.shard.ShardPool` (the host's workers),
+  accepts client connections, and serves ``MSG_RUN`` frames.  Incoming
+  payloads land **directly in an arena input slot** (the receive sink
+  leases the slot before the payload bytes are read), the batch runs
+  through ``run_leased``, and the result slab is sent back by
+  reference — the wire hop adds zero staging copies on the host.
+  ``repro-tonemap serve-host`` wraps it for the command line.
+* :class:`HostPool` — the routing client.  It speaks the same
+  duck-typed surface as ``ShardPool`` (``run_leased`` / ``run_stack`` /
+  ``run_batch``, the arena, the reliability counters), so
+  :class:`~repro.runtime.service.ToneMapService` and the ingestor run
+  unchanged on top of it (``ToneMapService(hosts=2)``).  Batches
+  round-robin across live hosts; each host serializes its in-flight
+  request on one connection, so concurrency comes from the service's
+  thread pool spreading batches over hosts.
+
+**Host failure lifecycle** — PR 8's worker reliability machinery,
+generalized one level up:
+
+1. A connection failure (refused, reset, truncated frame, injected
+   partition) marks the host **dead**: ``hosts_lost`` increments, the
+   batch *replays on another live host* (its input frames still sit in
+   the client arena — a replay is a pure re-dispatch), and a background
+   revive thread starts.
+2. The revive thread reconnects and health-checks (``MSG_PING``).  A
+   pool-owned host whose process died is **respawned** first
+   (``worker_respawns`` counts these, the host-level analogue of
+   worker-set rebuilds); a merely partitioned host heals by
+   reconnection alone.
+3. A socket *timeout* is a budget signal, not a death: the connection
+   is severed and the batch hedge-replays (``hedged_replays`` /
+   ``watchdog_kills``) up to ``timeout_retries`` times — on another
+   host when one is live.
+4. When every host is dead, :class:`~repro.errors.HostUnavailableError`
+   surfaces.  It subclasses ``ShardCrashError``, so a service breaker
+   browns the batch out to the in-process mapper exactly as it does
+   for a single-host pool failure — callers see latency, not errors.
+
+**Fault injection.**  The pool consumes the *network* kinds of a
+:class:`~repro.runtime.faults.FaultPlan` client-side: ``partition``
+severs the victim's connection mid-flight, ``slow_link`` sleeps seeded
+jitter before the send, ``host_loss`` SIGKILLs the serving host's
+process group.  Worker kinds (``kill`` / ``hang`` / ``exhaust`` /
+``slow``) are executed by each host's *own* pool — spawned hosts
+receive the plan spec, so one chaos plan exercises both tiers (each
+endpoint consumes its own attempt stream, so worker-kind indices are
+host-local).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import (
+    HostUnavailableError,
+    ShardCrashError,
+    ShardTimeoutError,
+    ToneMapError,
+    WireProtocolError,
+)
+from repro.image.hdr import HDRImage
+from repro.runtime.arena import ArenaLease, ShmArena
+from repro.runtime.clock import MONOTONIC, Clock
+from repro.runtime.faults import FaultInjector, resolve_injector
+from repro.runtime.net import (
+    MSG_ERR,
+    MSG_OK,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RUN,
+    NetCounters,
+    NetStats,
+    recv_message,
+    send_message,
+)
+from repro.runtime.shard import DataPlaneStats, ShardPool
+from repro.tonemap.fixed_blur import FixedBlurConfig
+from repro.tonemap.pipeline import ToneMapParams
+
+#: An address is ``(host, port)``; string form ``"host:port"`` accepted.
+HostAddress = Tuple[str, int]
+
+#: Wire dtypes a RUN frame may carry; a closed set so a corrupt frame
+#: cannot make ``np.dtype`` evaluate arbitrary type strings.
+_WIRE_DTYPES = frozenset(("float32",))
+
+
+def parse_address(value: Union[str, Tuple[str, int]]) -> HostAddress:
+    """Normalize ``"host:port"`` / ``(host, port)`` to a tuple."""
+    if isinstance(value, tuple):
+        host, port = value
+        return str(host), int(port)
+    if isinstance(value, str):
+        host, sep, port = value.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ToneMapError(
+                f"host address must look like 'host:port', got {value!r}"
+            )
+        return host, int(port)
+    raise ToneMapError(
+        f"host address must be 'host:port' or (host, port), got "
+        f"{type(value)!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving side
+# ----------------------------------------------------------------------
+class HostServer:
+    """Serve tone-map batches over the wire protocol from one host.
+
+    Owns a :class:`~repro.runtime.shard.ShardPool` and a listening TCP
+    socket; each accepted connection gets a serving thread that loops
+    frames until the client hangs up.  Incoming ``MSG_RUN`` payloads
+    are received straight into a leased arena input slot (zero staging
+    copies), run through the pool, and answered with ``MSG_OK``
+    carrying the output slab by reference — or ``MSG_ERR`` carrying the
+    failure class and message, which the client re-raises on its side.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  Use :meth:`serve_forever` on a dedicated (main)
+    thread and :meth:`close` to stop — or run it via the
+    ``repro-tonemap serve-host`` CLI.
+    """
+
+    def __init__(
+        self,
+        params: Optional[ToneMapParams] = None,
+        shards: int = 2,
+        fixed_config: Optional[FixedBlurConfig] = None,
+        fused: bool = False,
+        fused_threads: Optional[int] = None,
+        plan=None,
+        arena_slots: int = 4,
+        default_timeout_ms: Optional[float] = None,
+        timeout_retries: int = 1,
+        faults=None,
+        bind: str = "127.0.0.1",
+        port: int = 0,
+        clock: Clock = MONOTONIC,
+    ):
+        self._pool = ShardPool(
+            params=params,
+            shards=shards,
+            fixed_config=fixed_config,
+            fused=fused,
+            fused_threads=fused_threads,
+            plan=plan,
+            arena_slots=arena_slots,
+            default_timeout_ms=default_timeout_ms,
+            timeout_retries=timeout_retries,
+            faults=faults,
+            clock=clock,
+        )
+        self._net = NetCounters()
+        self._closed = False
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+        self._threads: List[threading.Thread] = []
+        try:
+            self._listener = socket.create_server((bind, port))
+        except OSError:
+            self._pool.close()
+            raise
+        # Short accept timeout so serve_forever notices close() (and a
+        # SIGTERM-raised SystemExit) promptly without busy-waiting.
+        self._listener.settimeout(0.2)
+        self.address: HostAddress = self._listener.getsockname()[:2]
+
+    @property
+    def pool(self) -> ShardPool:
+        """The host's worker pool (for tests and introspection)."""
+        return self._pool
+
+    @property
+    def net_stats(self) -> NetStats:
+        """Wire counters of this serving endpoint."""
+        return self._net.stats
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`close`."""
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                if self._closed:
+                    conn.close()
+                    break
+                self._conns.add(conn)
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-host-conn",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Serve one client until clean close or a wire error."""
+        try:
+            while not self._closed:
+                holder: dict = {}
+                try:
+                    frame = recv_message(
+                        conn, sink=self._make_sink(holder), counters=self._net
+                    )
+                except (WireProtocolError, OSError):
+                    self._release(holder)
+                    return
+                if frame is None:
+                    self._release(holder)
+                    return  # client hung up between frames
+                msg_type, meta, _payload = frame
+                try:
+                    if msg_type == MSG_PING:
+                        send_message(conn, MSG_PONG, {}, counters=self._net)
+                    elif msg_type == MSG_RUN:
+                        self._serve_run(conn, meta, holder)
+                    else:
+                        send_message(
+                            conn,
+                            MSG_ERR,
+                            {
+                                "error": "WireProtocolError",
+                                "message": f"host cannot serve message "
+                                f"type {msg_type}",
+                            },
+                            counters=self._net,
+                        )
+                except (WireProtocolError, OSError):
+                    return  # reply failed: connection is gone
+                finally:
+                    self._release(holder)
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _make_sink(self, holder: dict):
+        """A receive sink that leases an arena input slot for RUN payloads.
+
+        The lease happens *before* the payload bytes are read, so the
+        kernel copies them straight into shared memory — the slot the
+        pool's workers will read.  Non-RUN payloads (there are none in
+        the protocol today) fall back to staged buffers, counted.
+        """
+
+        def sink(msg_type: int, meta: dict):
+            if msg_type != MSG_RUN:
+                return None
+            shape, dtype = self._run_geometry(meta)
+            lease = self._pool.lease_input(shape, dtype)
+            holder["lease"] = lease
+            return lease.array
+
+        return sink
+
+    @staticmethod
+    def _run_geometry(meta: dict) -> Tuple[tuple, np.dtype]:
+        """Validate a RUN frame's shape/dtype before any allocation."""
+        shape = meta.get("shape")
+        if (
+            not isinstance(shape, list)
+            or not 3 <= len(shape) <= 4
+            or not all(isinstance(s, int) and s > 0 for s in shape)
+        ):
+            raise WireProtocolError(
+                f"RUN frame shape must be a list of 3-4 positive ints, "
+                f"got {shape!r}"
+            )
+        dtype = meta.get("dtype", "float32")
+        if dtype not in _WIRE_DTYPES:
+            raise WireProtocolError(
+                f"RUN frame dtype must be one of {sorted(_WIRE_DTYPES)}, "
+                f"got {dtype!r}"
+            )
+        return tuple(shape), np.dtype(dtype)
+
+    def _serve_run(self, conn: socket.socket, meta: dict, holder: dict) -> None:
+        """Execute one received batch and send the reply frame."""
+        in_lease: ArenaLease = holder["lease"]
+        timeout = meta.get("timeout")
+        try:
+            out_lease = self._pool.run_leased(
+                in_lease,
+                timeout=None if timeout is None else float(timeout),
+            )
+        except ShardTimeoutError as exc:
+            send_message(
+                conn,
+                MSG_ERR,
+                {
+                    "error": "ShardTimeoutError",
+                    "message": str(exc),
+                    "elapsed_ms": exc.elapsed_ms,
+                    "retries": exc.retries,
+                },
+                counters=self._net,
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - becomes a typed reply
+            send_message(
+                conn,
+                MSG_ERR,
+                {"error": type(exc).__name__, "message": str(exc)},
+                counters=self._net,
+            )
+            return
+        try:
+            send_message(
+                conn,
+                MSG_OK,
+                {
+                    "shape": list(out_lease.array.shape),
+                    "dtype": "float32",
+                },
+                payload=out_lease.array,
+                counters=self._net,
+            )
+        finally:
+            out_lease.release()
+
+    @staticmethod
+    def _release(holder: dict) -> None:
+        lease = holder.pop("lease", None)
+        if lease is not None:
+            lease.release()
+
+    def close(self) -> None:
+        """Stop accepting, drop live connections, shut the pool down."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            threads = list(self._threads)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self._pool.close()
+
+    def __enter__(self) -> "HostServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _host_main(pipe, kwargs: dict) -> None:
+    """Entry point of a spawned host process.
+
+    Builds the server, reports the bound address back through ``pipe``,
+    and serves until SIGTERM (mapped to a clean ``SystemExit`` so the
+    ``finally`` joins the host's worker processes — a host that dies
+    *un*gracefully is what ``os.killpg`` on our own process group is
+    for, see :meth:`HostPool._inject_host_loss`).
+    """
+    # Own process group: the host's ShardPool workers join it, so a
+    # chaos SIGKILL of the group takes the whole host down at once
+    # instead of orphaning workers.
+    try:
+        os.setpgrp()
+    except OSError:  # pragma: no cover - already a group leader
+        pass
+    signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
+    server = HostServer(**kwargs)
+    try:
+        pipe.send(server.address)
+        pipe.close()
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Routing side
+# ----------------------------------------------------------------------
+class _Host:
+    """Client-side record of one serving host."""
+
+    __slots__ = (
+        "index",
+        "address",
+        "process",
+        "sock",
+        "lock",
+        "alive",
+        "reviving",
+        "partitioned",
+    )
+
+    def __init__(self, index: int, address: HostAddress, process=None):
+        self.index = index
+        self.address = address
+        self.process = process  # mp.Process for pool-owned hosts
+        self.sock: Optional[socket.socket] = None
+        self.lock = threading.Lock()  # serializes this host's wire I/O
+        self.alive = True
+        self.reviving = False
+        self.partitioned = False  # armed by the partition fault
+
+    @property
+    def label(self) -> str:
+        return f"host[{self.index}]@{self.address[0]}:{self.address[1]}"
+
+
+class HostPool:
+    """Route batches across N shard hosts; a ``ShardPool`` drop-in.
+
+    Construct with a list of addresses of already-running
+    :class:`HostServer` processes (``["10.0.0.1:7070", ...]``), or let
+    :meth:`spawn_local` start ``count`` localhost host processes and
+    own their lifecycle — ``ToneMapService(hosts=2)`` does the latter.
+
+    The pool owns a client-side :class:`~repro.runtime.arena.ShmArena`:
+    producers write frames into leased input stacks exactly as with a
+    ``ShardPool``, the send hands the slot to the kernel by reference,
+    and replies land in freshly leased output slabs via the receive
+    sink — so ``data_plane_stats.copies_per_frame`` stays **0.0** on
+    the leased path even though every batch crossed a socket twice.
+    See the module docstring for the host failure lifecycle.
+
+    Parameters
+    ----------
+    hosts:
+        Host addresses (``"host:port"`` strings or tuples).
+    arena / arena_slots:
+        Share an existing client arena, or size the owned one.
+    default_timeout_ms:
+        Per-attempt execution budget forwarded to the serving host
+        (arming *its* watchdog) when ``run_leased`` gets no explicit
+        ``timeout``.
+    timeout_retries:
+        Hedged replays allowed after a timeout (local wire timeout or
+        a host-side ``ShardTimeoutError``) before it surfaces.
+    connect_timeout_s:
+        TCP connect budget per attempt.
+    revive_wait_s:
+        How long a batch that finds *no* live host blocks waiting for a
+        background revival before
+        :class:`~repro.errors.HostUnavailableError` surfaces — the
+        host-level analogue of ``ShardPool`` blocking on its
+        synchronous respawn.  A breaker-fronted service that prefers a
+        fast brownout over waiting can lower it.
+    faults:
+        Chaos plan/spec/injector; the pool consumes the network kinds
+        (``partition`` / ``slow_link`` / ``host_loss``) client-side.
+    clock:
+        Injectable time source shared with the reliability machinery.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[Union[str, Tuple[str, int]]],
+        arena: Optional[ShmArena] = None,
+        arena_slots: int = 4,
+        default_timeout_ms: Optional[float] = None,
+        timeout_retries: int = 1,
+        connect_timeout_s: float = 10.0,
+        revive_wait_s: float = 30.0,
+        faults=None,
+        clock: Clock = MONOTONIC,
+        _processes: Optional[Sequence] = None,
+        _spawn_kwargs: Optional[dict] = None,
+        _spawn_context=None,
+    ):
+        addresses = [parse_address(value) for value in hosts]
+        if not addresses:
+            raise ToneMapError("HostPool needs at least one host")
+        if default_timeout_ms is not None and default_timeout_ms <= 0:
+            raise ToneMapError(
+                f"default_timeout_ms must be > 0, got {default_timeout_ms}"
+            )
+        if timeout_retries < 0:
+            raise ToneMapError(
+                f"timeout_retries must be >= 0, got {timeout_retries}"
+            )
+        processes = list(_processes) if _processes is not None else []
+        self._hosts = [
+            _Host(
+                index,
+                address,
+                processes[index] if index < len(processes) else None,
+            )
+            for index, address in enumerate(addresses)
+        ]
+        self._owns_arena = arena is None
+        self.arena = arena if arena is not None else ShmArena(slots=arena_slots)
+        self._default_timeout_s = (
+            None if default_timeout_ms is None else default_timeout_ms / 1e3
+        )
+        self._timeout_retries = timeout_retries
+        self._connect_timeout_s = connect_timeout_s
+        self._revive_wait_s = revive_wait_s
+        self.faults: Optional[FaultInjector] = resolve_injector(faults)
+        self._clock = clock
+        self._net = NetCounters()
+        self._spawn_kwargs = _spawn_kwargs
+        self._spawn_context = _spawn_context
+        self._closed = False
+        # Guards host liveness/membership; revivals notify waiters in
+        # _pick_host that a host came back.
+        self._state = threading.Condition()
+        self._revive_threads: List[threading.Thread] = []
+        self._count_lock = threading.Lock()
+        self._batches = 0
+        self._frames = 0
+        self._bytes_served = 0
+        self._hosts_lost = 0
+        self._host_respawns = 0
+        self._hedged_replays = 0
+        self._timeouts = 0
+        self._rr = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def spawn_local(
+        cls,
+        count: int,
+        params: Optional[ToneMapParams] = None,
+        fixed_config: Optional[FixedBlurConfig] = None,
+        fused: bool = False,
+        fused_threads: Optional[int] = None,
+        plan=None,
+        shards_per_host: int = 2,
+        arena_slots: int = 4,
+        default_timeout_ms: Optional[float] = None,
+        timeout_retries: int = 1,
+        revive_wait_s: float = 30.0,
+        faults=None,
+        clock: Clock = MONOTONIC,
+    ) -> "HostPool":
+        """Start ``count`` localhost host processes and route over them.
+
+        Each host process binds an ephemeral port, reports it back over
+        a pipe, and runs ``shards_per_host`` workers.  The pool owns
+        the processes: a host that dies is respawned with the same
+        recipe, and :meth:`close` terminates them all.  The fault
+        plan's spec (if any) ships to every host so worker-kind faults
+        inject there while the pool injects the network kinds here.
+        """
+        if count < 1:
+            raise ToneMapError(f"hosts must be >= 1, got {count}")
+        injector = resolve_injector(faults)
+        context = (
+            mp.get_context("forkserver")
+            if "forkserver" in mp.get_all_start_methods()
+            else mp.get_context("spawn")
+        )
+        spawn_kwargs = {
+            "params": params,
+            "shards": shards_per_host,
+            "fixed_config": fixed_config,
+            "fused": fused,
+            "fused_threads": fused_threads,
+            "plan": plan,
+            "arena_slots": arena_slots,
+            "default_timeout_ms": default_timeout_ms,
+            "timeout_retries": timeout_retries,
+            "faults": (
+                injector.plan.to_spec() if injector is not None else None
+            ),
+        }
+        addresses: List[HostAddress] = []
+        processes: List = []
+        try:
+            for _ in range(count):
+                address, process = _spawn_host(context, spawn_kwargs)
+                addresses.append(address)
+                processes.append(process)
+        except BaseException:
+            for process in processes:
+                _terminate_host(process)
+            raise
+        return cls(
+            addresses,
+            arena_slots=arena_slots,
+            default_timeout_ms=default_timeout_ms,
+            timeout_retries=timeout_retries,
+            revive_wait_s=revive_wait_s,
+            faults=injector,
+            clock=clock,
+            _processes=processes,
+            _spawn_kwargs=spawn_kwargs,
+            _spawn_context=context,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (the ShardPool-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def autoscaling(self) -> bool:
+        """Host pools never autoscale the host set (static membership)."""
+        return False
+
+    @property
+    def active_shards(self) -> int:
+        """Live hosts a batch can currently route to."""
+        with self._state:
+            return sum(1 for host in self._hosts if host.alive)
+
+    @property
+    def scale_ups(self) -> int:
+        return 0
+
+    @property
+    def scale_downs(self) -> int:
+        return 0
+
+    def observe(
+        self, queue_depth: int, p95_ms: Optional[float] = None
+    ) -> int:
+        """Load observations are a no-op (no host-set autoscaler)."""
+        return self.active_shards
+
+    @property
+    def worker_respawns(self) -> int:
+        """Host processes this pool restarted after losing them."""
+        with self._count_lock:
+            return self._host_respawns
+
+    @property
+    def hosts_lost(self) -> int:
+        """Hosts declared dead (connection lost, partitioned, killed)."""
+        with self._count_lock:
+            return self._hosts_lost
+
+    @property
+    def hedged_replays(self) -> int:
+        """Batches replayed (preferring another host) after a timeout."""
+        with self._count_lock:
+            return self._hedged_replays
+
+    @property
+    def watchdog_kills(self) -> int:
+        """Timed-out attempts whose connection the pool severed."""
+        with self._count_lock:
+            return self._timeouts
+
+    @property
+    def net_stats(self) -> NetStats:
+        """Wire counters of the client endpoint."""
+        return self._net.stats
+
+    @property
+    def data_plane_stats(self) -> DataPlaneStats:
+        """Counters proving (or disproving) the zero-copy claims.
+
+        Same honesty contract as the single-host pool, now spanning the
+        wire: ``arena`` counts client-side staging, ``net.bytes_staged``
+        counts any payload byte that crossed userspace instead of
+        moving arena-slot ↔ socket directly (0 on the scatter-gather
+        path), and both join the ``copies_per_frame`` numerator.
+        """
+        with self._count_lock:
+            return DataPlaneStats(
+                batches=self._batches,
+                frames=self._frames,
+                bytes_served=self._bytes_served,
+                worker_respawns=self._host_respawns,
+                arena=self.arena.stats,
+                net=self._net.stats,
+            )
+
+    def host_addresses(self) -> List[HostAddress]:
+        """Current addresses, respawn-fresh (for tooling and tests)."""
+        with self._state:
+            return [host.address for host in self._hosts]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def lease_input(self, shape: tuple, dtype=np.float32) -> ArenaLease:
+        """Lease a client arena input stack for producers to write into."""
+        return self.arena.lease_input(shape, dtype)
+
+    def run_leased(
+        self,
+        in_lease: ArenaLease,
+        count: Optional[int] = None,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+    ) -> ArenaLease:
+        """Tone-map a stack already resident in the client arena.
+
+        The ``ShardPool.run_leased`` contract over the wire: the input
+        slot is handed to ``sendmsg`` by reference, the reply payload
+        lands in a freshly leased output slab, and the caller keeps
+        ownership of ``in_lease`` — which is what makes **replay**
+        free: when a host dies mid-batch the frames still sit in the
+        client arena, so the batch re-dispatches to another live host
+        up to ``retries`` times before
+        :class:`~repro.errors.ShardCrashError` (or, with no live host
+        left, :class:`~repro.errors.HostUnavailableError`) surfaces.
+        Timeouts — a local wire timeout or the host's own
+        ``ShardTimeoutError`` — spend the separate ``timeout_retries``
+        hedge budget instead, preferring a different host for the
+        hedge.
+        """
+        if in_lease.array is None:
+            raise ToneMapError("cannot run a released arena lease")
+        shape = in_lease.array.shape
+        if count is None:
+            count = shape[0]
+        if not 1 <= count <= shape[0]:
+            raise ToneMapError(
+                f"count must be in [1, {shape[0]}], got {count}"
+            )
+        run_shape = (count,) + tuple(shape[1:])
+        payload = in_lease.array[:count]
+        if timeout is None:
+            timeout = self._default_timeout_s
+        spare = retries
+        hedge_spare = self._timeout_retries
+        start = self._clock.now()
+        avoid: Optional[_Host] = None
+        while True:
+            if self.faults is not None:
+                index, kinds = self.faults.next_attempt()
+            else:
+                index, kinds = 0, frozenset()
+            if "slow_link" in kinds:
+                self._clock.sleep(
+                    self.faults.plan.jitter_s(index, kind="slow_link")
+                )
+            host = self._pick_host(avoid)
+            if "host_loss" in kinds:
+                self._inject_host_loss(host)
+            if "partition" in kinds:
+                host.partitioned = True
+            try:
+                out_lease = self._dispatch(host, payload, run_shape, timeout)
+            except ShardTimeoutError:
+                # The host itself gave up (its watchdog + hedge budget
+                # spent).  The connection is fine; hedge on another
+                # host if the budget allows.
+                if hedge_spare <= 0:
+                    raise
+                hedge_spare -= 1
+                with self._count_lock:
+                    self._hedged_replays += 1
+                avoid = host
+                continue
+            except ShardCrashError:
+                # The host's own pool crashed past its replay budget —
+                # the host is alive, its workload is the problem.
+                if spare <= 0:
+                    raise
+                spare -= 1
+                avoid = host
+                continue
+            except TimeoutError as exc:
+                # Local wire timeout: the reply never came.  Sever the
+                # (now mid-frame) connection and hedge elsewhere; the
+                # host may still be alive and will be reconnected.
+                self._sever(host)
+                with self._count_lock:
+                    self._timeouts += 1
+                if hedge_spare <= 0:
+                    now = self._clock.now()
+                    used = self._timeout_retries - hedge_spare
+                    raise ShardTimeoutError(
+                        f"{count}-frame batch timed out on the wire to "
+                        f"{host.label} ({(now - start) * 1e3:.0f} ms "
+                        f"elapsed, {used} hedged replay(s))",
+                        elapsed_ms=(now - start) * 1e3,
+                        retries=used,
+                    ) from exc
+                hedge_spare -= 1
+                with self._count_lock:
+                    self._hedged_replays += 1
+                avoid = host
+                continue
+            except (WireProtocolError, OSError) as exc:
+                # The connection (or the host behind it) died.  Mark it
+                # lost — a revive thread heals it in the background —
+                # and replay on another host.
+                self._mark_lost(host)
+                avoid = host
+                if spare <= 0:
+                    raise ShardCrashError(
+                        f"{count}-frame batch lost {host.label} and the "
+                        f"replay budget is spent (hosts lost so far: "
+                        f"{self.hosts_lost})"
+                    ) from exc
+                spare -= 1
+                continue
+            break
+        with self._count_lock:
+            self._batches += 1
+            self._frames += count
+            self._bytes_served += out_lease.nbytes
+        return out_lease
+
+    def run_stack(
+        self, stack: np.ndarray, zero_copy: bool = False
+    ) -> Union[np.ndarray, ArenaLease]:
+        """Tone-map an ``(N, H, W[, 3])`` float stack across the hosts.
+
+        One counted staging copy moves the caller's array into a
+        pooled arena stack (same contract as ``ShardPool.run_stack``);
+        ``zero_copy=True`` returns the output lease instead of a
+        materialized copy.
+        """
+        stack = np.ascontiguousarray(stack, dtype=np.float32)
+        if stack.ndim not in (3, 4):
+            raise ToneMapError(
+                f"run_stack expects (N, H, W) or (N, H, W, 3), got "
+                f"{stack.shape}"
+            )
+        if stack.shape[0] == 0:
+            raise ToneMapError("batch must contain at least one image")
+        in_lease = self.arena.lease_input(stack.shape, np.float32)
+        try:
+            in_lease.array[:] = stack
+            self.arena._count_copy_in(stack.nbytes)
+            out_lease = self.run_leased(in_lease)
+        finally:
+            in_lease.release()
+        if zero_copy:
+            return out_lease
+        return out_lease.materialize()
+
+    def run_batch(self, images: Sequence[HDRImage]) -> tuple:
+        """Tone-map a same-shape batch; drop-in for ``BatchToneMapper.map``."""
+        if len(images) == 0:
+            raise ToneMapError("batch must contain at least one image")
+        for image in images:
+            if not isinstance(image, HDRImage):
+                raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        shape = images[0].pixels.shape
+        for image in images:
+            if image.pixels.shape != shape:
+                raise ToneMapError(
+                    f"batch images must share one shape; got {shape} and "
+                    f"{image.pixels.shape} (group by shape first)"
+                )
+        stack_shape = (len(images),) + shape
+        in_lease = self.arena.lease_input(stack_shape, np.float32)
+        try:
+            for i, image in enumerate(images):
+                in_lease.array[i] = image.pixels
+            self.arena._count_copy_in(int(np.prod(stack_shape)) * 4)
+            out = self.run_leased(in_lease).materialize()
+        finally:
+            in_lease.release()
+        return tuple(
+            HDRImage.adopt(out[i], name=f"{images[i].name}:tonemapped")
+            for i in range(len(images))
+        )
+
+    # ------------------------------------------------------------------
+    # Wire dispatch
+    # ------------------------------------------------------------------
+    def _pick_host(self, avoid: Optional[_Host]) -> _Host:
+        """Round-robin over live hosts, preferring not to reuse ``avoid``.
+
+        When *no* host is live the batch does not fail immediately: a
+        revive thread is already working in the background, so this
+        blocks up to ``revive_wait_s`` for one to come back — the
+        analogue of ``ShardPool`` replaying only after its synchronous
+        respawn finished.  Only then does
+        :class:`~repro.errors.HostUnavailableError` surface (and the
+        service breaker browns out).
+        """
+        deadline = time.monotonic() + self._revive_wait_s
+        with self._state:
+            while True:
+                live = [host for host in self._hosts if host.alive]
+                if live:
+                    preferred = (
+                        [host for host in live if host is not avoid] or live
+                    )
+                    host = preferred[self._rr % len(preferred)]
+                    self._rr += 1
+                    return host
+                remaining = deadline - time.monotonic()
+                if self._closed or remaining <= 0:
+                    raise HostUnavailableError(
+                        f"all {len(self._hosts)} shard hosts are dead or "
+                        "partitioned away — no host left to serve the "
+                        f"batch (waited {self._revive_wait_s:.1f} s for a "
+                        "revival)"
+                    )
+                self._state.wait(timeout=min(remaining, 0.5))
+
+    def _wire_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """Socket budget for one request-response exchange.
+
+        Deliberately looser than the host-side execution budget: the
+        host's own watchdog + hedge machinery gets first claim on a
+        hang (it answers with a typed ``ShardTimeoutError``), so the
+        wire budget only has to catch a host that stopped answering
+        at all.
+        """
+        if timeout is None:
+            return None
+        return timeout * 3.0 + 5.0
+
+    def _connect(self, host: _Host) -> socket.socket:
+        sock = socket.create_connection(
+            host.address, timeout=self._connect_timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _dispatch(
+        self,
+        host: _Host,
+        payload: np.ndarray,
+        run_shape: tuple,
+        timeout: Optional[float],
+    ) -> ArenaLease:
+        """One request-response exchange with one host.
+
+        Holds the host's wire lock for the duration (one in-flight
+        batch per host; concurrency comes from routing across hosts).
+        The request payload goes out by reference; the reply payload
+        lands in a freshly leased output slab supplied by the receive
+        sink.  Any failure severs the connection and releases the
+        half-filled lease — nothing leaks into the replay.
+        """
+        holder: dict = {}
+
+        def sink(msg_type: int, meta: dict):
+            if msg_type != MSG_OK:
+                return None  # ERR frames carry no payload
+            got = tuple(
+                int(s) for s in meta.get("shape", ())
+                if isinstance(s, int)
+            )
+            if got != run_shape:
+                raise WireProtocolError(
+                    f"host replied with shape {got}, expected {run_shape}"
+                )
+            lease = self.arena.lease_output(run_shape, np.float32)
+            holder["lease"] = lease
+            return lease.array
+
+        with host.lock:
+            if host.partitioned:
+                # Injected partition: the link drops mid-flight, which
+                # the client observes as a torn connection.
+                host.partitioned = False
+                self._close_sock(host)
+                raise WireProtocolError(
+                    f"injected network partition to {host.label}"
+                )
+            try:
+                if host.sock is None:
+                    host.sock = self._connect(host)
+                sock = host.sock
+                sock.settimeout(self._wire_timeout(timeout))
+                send_message(
+                    sock,
+                    MSG_RUN,
+                    {
+                        "shape": list(run_shape),
+                        "dtype": "float32",
+                        "timeout": timeout,
+                    },
+                    payload=payload,
+                    counters=self._net,
+                )
+                frame = recv_message(sock, sink=sink, counters=self._net)
+            except BaseException:
+                self._release_holder(holder)
+                self._close_sock(host)
+                raise
+            if frame is None:
+                self._close_sock(host)
+                raise WireProtocolError(
+                    f"{host.label} closed the connection mid-request"
+                )
+        msg_type, meta, _payload = frame
+        if msg_type == MSG_OK:
+            return holder.pop("lease")
+        self._release_holder(holder)
+        if msg_type == MSG_ERR:
+            raise self._remote_error(host, meta)
+        raise WireProtocolError(
+            f"{host.label} answered a RUN with message type {msg_type}"
+        )
+
+    @staticmethod
+    def _remote_error(host: _Host, meta: dict) -> Exception:
+        """Map a MSG_ERR frame back to a typed exception."""
+        name = meta.get("error", "ToneMapError")
+        message = f"{host.label}: {meta.get('message', 'unknown failure')}"
+        if name == "ShardTimeoutError":
+            return ShardTimeoutError(
+                message,
+                elapsed_ms=float(meta.get("elapsed_ms", 0.0)),
+                retries=int(meta.get("retries", 0)),
+            )
+        if name in ("ShardCrashError", "HostUnavailableError"):
+            return ShardCrashError(message)
+        return ToneMapError(f"{message} ({name})")
+
+    @staticmethod
+    def _release_holder(holder: dict) -> None:
+        lease = holder.pop("lease", None)
+        if lease is not None:
+            lease.release()
+
+    @staticmethod
+    def _close_sock(host: _Host) -> None:
+        # caller holds host.lock
+        if host.sock is not None:
+            try:
+                host.sock.close()
+            except OSError:
+                pass
+            host.sock = None
+
+    def _sever(self, host: _Host) -> None:
+        """Drop a host's connection without declaring the host dead."""
+        with host.lock:
+            self._close_sock(host)
+
+    # ------------------------------------------------------------------
+    # Failure handling / revival
+    # ------------------------------------------------------------------
+    def _mark_lost(self, host: _Host) -> None:
+        """Declare a host dead and start its background revival."""
+        self._sever(host)
+        with self._state:
+            if not host.alive or self._closed:
+                return
+            host.alive = False
+            start_revive = not host.reviving
+            host.reviving = True
+            if start_revive:
+                thread = threading.Thread(
+                    target=self._revive,
+                    args=(host,),
+                    name=f"repro-host-revive-{host.index}",
+                    daemon=True,
+                )
+                self._revive_threads.append(thread)
+        with self._count_lock:
+            self._hosts_lost += 1
+        if start_revive:
+            thread.start()
+
+    def _revive(self, host: _Host) -> None:
+        """Bring a lost host back: respawn its process, then reconnect.
+
+        Runs on a background thread so in-flight batches replay on the
+        surviving hosts immediately.  A pool-owned host whose process
+        died is restarted with the original recipe (counted in
+        ``worker_respawns``); a partitioned host just needs a working
+        connection + PING again.  Retries with capped backoff until it
+        succeeds or the pool closes.
+        """
+        backoff = 0.05
+        try:
+            while not self._closed:
+                try:
+                    if (
+                        host.process is not None
+                        and not host.process.is_alive()
+                    ):
+                        self._respawn_host(host)
+                    sock = self._connect(host)
+                    try:
+                        sock.settimeout(5.0)
+                        send_message(sock, MSG_PING, {}, counters=self._net)
+                        frame = recv_message(sock, counters=self._net)
+                        if frame is None or frame[0] != MSG_PONG:
+                            raise WireProtocolError(
+                                f"{host.label} failed its health check"
+                            )
+                    except BaseException:
+                        sock.close()
+                        raise
+                except (
+                    WireProtocolError,
+                    OSError,
+                    ToneMapError,
+                ):
+                    self._clock.sleep(backoff)
+                    backoff = min(backoff * 2.0, 1.0)
+                    continue
+                with host.lock:
+                    self._close_sock(host)
+                    host.sock = sock
+                with self._state:
+                    host.alive = True
+                    self._state.notify_all()
+                return
+        finally:
+            with self._state:
+                host.reviving = False
+            if self._closed:
+                # close() may have missed a process this thread spawned
+                # after its terminate pass — never leave one behind.
+                _terminate_host(host.process)
+
+    def _respawn_host(self, host: _Host) -> None:
+        """Restart a dead pool-owned host process (same recipe)."""
+        if self._spawn_kwargs is None or self._spawn_context is None:
+            raise ToneMapError(
+                f"{host.label} died and this pool does not own its "
+                "processes — restart it externally"
+            )
+        _terminate_host(host.process)
+        address, process = _spawn_host(self._spawn_context, self._spawn_kwargs)
+        with self._state:
+            if self._closed:
+                _terminate_host(process)
+                raise ToneMapError("pool closed during host respawn")
+            host.address = address
+            host.process = process
+        with self._count_lock:
+            self._host_respawns += 1
+
+    def _inject_host_loss(self, host: _Host) -> None:
+        """Chaos: take the serving host down hard (SIGKILL its group).
+
+        External (non-owned) hosts cannot be killed from here, so the
+        fault degrades to a partition — the client-observable symptom
+        is identical (the connection tears, the host stops answering).
+        """
+        process = host.process
+        if process is None or process.pid is None:
+            host.partitioned = True
+            return
+        if process.is_alive():
+            try:
+                os.killpg(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError, OSError):
+                    pass
+            process.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop connections, stop owned host processes, close the arena.
+
+        Revive threads are joined first: one mid-respawn could
+        otherwise hand a *fresh* (non-daemon) host process to a record
+        this pass already terminated, leaving an orphan that blocks
+        interpreter exit.
+        """
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+            revive_threads = list(self._revive_threads)
+        for thread in revive_threads:
+            # Generous: a thread can be inside a respawn, which waits
+            # up to 120 s for the new host to report its address.
+            thread.join(timeout=150.0)
+        for host in self._hosts:
+            with host.lock:
+                self._close_sock(host)
+        for host in self._hosts:
+            if host.process is not None:
+                _terminate_host(host.process)
+        if self._owns_arena:
+            self.arena.close()
+
+    def __enter__(self) -> "HostPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Spawn plumbing
+# ----------------------------------------------------------------------
+def _spawn_host(context, spawn_kwargs: dict) -> Tuple[HostAddress, object]:
+    """Start one host process; returns its reported address."""
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(
+        target=_host_main,
+        args=(child_conn, spawn_kwargs),
+        name="repro-host",
+        daemon=False,  # hosts own worker processes of their own
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout=120.0):
+            raise ToneMapError(
+                "shard host process failed to report its address within "
+                "120 s of starting"
+            )
+        address = parent_conn.recv()
+    except (EOFError, OSError) as exc:
+        _terminate_host(process)
+        raise ToneMapError(
+            "shard host process died before reporting its address"
+        ) from exc
+    except BaseException:
+        _terminate_host(process)
+        raise
+    finally:
+        parent_conn.close()
+    return (str(address[0]), int(address[1])), process
+
+
+def _terminate_host(process) -> None:
+    """Stop one host process: SIGTERM (graceful), then SIGKILL the group."""
+    if process is None:
+        return
+    try:
+        if process.is_alive():
+            process.terminate()  # SIGTERM → clean SystemExit in the host
+            process.join(timeout=10.0)
+        if process.is_alive():  # pragma: no cover - stuck host
+            try:
+                os.killpg(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError, OSError):
+                    pass
+            process.join(timeout=5.0)
+    except (ValueError, OSError):  # pragma: no cover - already reaped
+        pass

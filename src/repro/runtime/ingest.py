@@ -364,8 +364,8 @@ class ToneMapIngestor:
             zero_copy = service.pool is not None
         elif zero_copy and service.pool is None:
             raise ToneMapError(
-                "zero-copy ingest requires a sharded service "
-                "(construct ToneMapService with shards=N)"
+                "zero-copy ingest requires a sharded or hosted service "
+                "(construct ToneMapService with shards=N or hosts=...)"
             )
         if lease_results and not zero_copy:
             raise ToneMapError(

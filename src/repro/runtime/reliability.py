@@ -64,6 +64,12 @@ class ReliabilityStats:
     brownout_batches:
         Batches executed on the in-process mapper because the breaker
         was open (or a shard failure fell back mid-batch).
+    hosts_lost:
+        Shard hosts a :class:`~repro.runtime.hostpool.HostPool`
+        declared dead (connection lost, partitioned away, or killed)
+        — the host-level analogue of a worker crash; each one triggers
+        a replay on another host and, for pool-owned hosts, a respawn.
+        Always 0 on a single-host service.
     """
 
     deadline_shed: int = 0
@@ -72,6 +78,7 @@ class ReliabilityStats:
     breaker_state: str = BREAKER_DISABLED
     breaker_transitions: int = 0
     brownout_batches: int = 0
+    hosts_lost: int = 0
 
 
 @dataclass(frozen=True)

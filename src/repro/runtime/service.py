@@ -27,7 +27,6 @@ throughput benchmarks that track this module are described in
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -211,6 +210,19 @@ class ToneMapService:
         bit-identical to the in-process path).  ``params.blur_fn`` must
         then be ``None``; request the fixed-point model with
         ``fixed_config``.
+    hosts:
+        Route batches across shard *hosts* over the network instead of
+        local worker processes: an ``int`` spawns that many localhost
+        host-server processes (each a
+        :class:`~repro.runtime.shard.ShardPool`-backed
+        :class:`~repro.runtime.hostpool.HostServer`), a sequence of
+        ``"host:port"`` addresses connects to externally started
+        servers (CLI ``serve-host``), and a ready
+        :class:`~repro.runtime.hostpool.HostPool` is adopted as-is
+        (the service closes it).  Mutually exclusive with ``shards`` /
+        ``autoscale``; the breaker, ``shard_timeout_ms``, and the
+        zero-copy admission path all apply to hosts exactly as they do
+        to shards.
     fixed_config:
         Convenience for the bit-accurate fixed-point blur: equivalent to
         ``blur_fn=make_fixed_blur_fn(fixed_config)`` in-process, and the
@@ -289,6 +301,7 @@ class ToneMapService:
         shard_timeout_ms: Optional[float] = None,
         breaker=None,
         faults=None,
+        hosts=None,
         clock: Clock = MONOTONIC,
     ):
         params = params if params is not None else ToneMapParams()
@@ -308,15 +321,21 @@ class ToneMapService:
             raise ToneMapError(
                 "the fused engine is float-only; drop fused or fixed_config"
             )
+        if hosts is not None and (shards is not None or autoscale):
+            raise ToneMapError(
+                "hosts and shards/autoscale are mutually exclusive — a "
+                "hosted service fans out across shard hosts, each of "
+                "which runs its own worker pool"
+            )
         if autoscale and shards is None:
             shards = 1
-        if shards is None and (
+        if shards is None and hosts is None and (
             shard_timeout_ms is not None or breaker is not None
         ):
             raise ToneMapError(
-                "shard_timeout_ms and breaker require a sharded service "
-                "(construct with shards=N) — the in-process path has no "
-                "workers to watch or brown out from"
+                "shard_timeout_ms and breaker require a sharded or hosted "
+                "service (construct with shards=N or hosts=...) — the "
+                "in-process path has no workers to watch or brown out from"
             )
         self.params = params
         self.batch_size = batch_size
@@ -336,7 +355,9 @@ class ToneMapService:
                 f"got {type(breaker)!r}"
             )
         self._brownout_batches = 0
-        self._pool: Optional[ShardPool] = None
+        # A ShardPool, a HostPool (duck-typed to the same execution
+        # surface), or None for the in-process path.
+        self._pool = None
         if shards is not None:
             self._pool = ShardPool(
                 params,
@@ -353,6 +374,34 @@ class ToneMapService:
                 faults=self._faults,
                 clock=clock,
             )
+        elif hosts is not None:
+            # Imported here so the single-host stack never pays for the
+            # networking module.
+            from repro.runtime.hostpool import HostPool
+
+            if isinstance(hosts, HostPool):
+                self._pool = hosts
+            elif isinstance(hosts, int):
+                self._pool = HostPool.spawn_local(
+                    hosts,
+                    params,
+                    fixed_config=fixed_config,
+                    fused=fused,
+                    fused_threads=fused_threads,
+                    plan=plan,
+                    arena_slots=arena_slots,
+                    default_timeout_ms=shard_timeout_ms,
+                    faults=self._faults,
+                    clock=clock,
+                )
+            else:
+                self._pool = HostPool(
+                    hosts,
+                    arena_slots=arena_slots,
+                    default_timeout_ms=shard_timeout_ms,
+                    faults=self._faults,
+                    clock=clock,
+                )
         local_params = params
         if fixed_config is not None:
             local_params = replace(
@@ -406,8 +455,14 @@ class ToneMapService:
             )
 
     def _finish_batch(self, start: float, images: int, pixels: int) -> None:
-        """Record one completed batch and feed the pool's autoscaler."""
-        elapsed = time.perf_counter() - start
+        """Record one completed batch and feed the pool's autoscaler.
+
+        ``start`` was read from ``self._clock`` — all service timing
+        goes through the injected clock, so a ``FakeClock`` drives the
+        latency window (and the autoscaler's p95) deterministically and
+        deadline math never mixes epochs with the stats.
+        """
+        elapsed = self._clock.now() - start
         # Sorting the latency window costs O(W log W) under the lock, so
         # pay it only when an autoscaler actually consumes the p95.
         wants_p95 = self._pool is not None and self._pool.autoscaling
@@ -444,7 +499,7 @@ class ToneMapService:
         outputs, so the caller sees latency, not an exception.  Without
         a breaker those errors propagate exactly as before.
         """
-        start = time.perf_counter()
+        start = self._clock.now()
         try:
             if self._pool is not None:
                 outputs = None
@@ -539,7 +594,7 @@ class ToneMapService:
         ``timeout`` (seconds) is the batch's remaining execution budget,
         forwarded to the pool's watchdog machinery.
         """
-        start = time.perf_counter()
+        start = self._clock.now()
         try:
             try:
                 out_lease = self._execute_stack(in_lease, count, timeout)
@@ -595,8 +650,8 @@ class ToneMapService:
         """
         if self._pool is None:
             raise ToneMapError(
-                "zero-copy stack admission requires a sharded service "
-                "(construct with shards=N)"
+                "zero-copy stack admission requires a sharded or hosted "
+                "service (construct with shards=N or hosts=...)"
             )
         self._admit_batch()
         try:
@@ -620,8 +675,8 @@ class ToneMapService:
         """
         if self._pool is None:
             raise ToneMapError(
-                "zero-copy leasing requires a sharded service "
-                "(construct with shards=N)"
+                "zero-copy leasing requires a sharded or hosted service "
+                "(construct with shards=N or hosts=...)"
             )
         return self._pool.lease_input(
             (self.batch_size,) + tuple(frame_shape), np.float32
@@ -689,8 +744,9 @@ class ToneMapService:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     @property
-    def pool(self) -> Optional[ShardPool]:
-        """The shard pool backing this service (``None`` in-process)."""
+    def pool(self):
+        """The shard pool or host pool backing this service (``None``
+        in-process)."""
         return self._pool
 
     @property
@@ -727,6 +783,7 @@ class ToneMapService:
                 reliability=ReliabilityStats(
                     hedged_replays=self._pool.hedged_replays,
                     watchdog_kills=self._pool.watchdog_kills,
+                    hosts_lost=getattr(self._pool, "hosts_lost", 0),
                     breaker_state=(
                         self._breaker.state
                         if self._breaker is not None

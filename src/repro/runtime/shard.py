@@ -100,6 +100,7 @@ from repro.runtime.arena import ArenaLease, ArenaStats, ShmArena
 from repro.runtime.batch import BatchToneMapper
 from repro.runtime.clock import MONOTONIC, Clock
 from repro.runtime.faults import FaultInjector, resolve_injector
+from repro.runtime.net import NetStats
 from repro.tonemap.fixed_blur import FixedBlurConfig, make_fixed_blur_fn
 from repro.tonemap.pipeline import ToneMapParams
 
@@ -430,6 +431,13 @@ class DataPlaneStats:
     the frame size.  The PR 2 cycle measured 3.0 (stack, copy-in, copy
     out — and a fourth inside ``HDRImage``); the zero-copy path measures
     0.0.
+
+    The multi-host tier shares this dataclass: a
+    :class:`~repro.runtime.hostpool.HostPool` fills ``net`` with its
+    wire-endpoint counters, whose ``bytes_staged`` (userspace staging
+    around the socket hop — 0 on the scatter-gather path) joins the
+    same honesty sum, and ``worker_respawns`` counts *host* respawns.
+    A single-host pool leaves ``net`` all zeros.
     """
 
     batches: int = 0
@@ -437,6 +445,7 @@ class DataPlaneStats:
     bytes_served: int = 0
     worker_respawns: int = 0
     arena: ArenaStats = ArenaStats()
+    net: NetStats = NetStats()
 
     @property
     def copies_per_frame(self) -> float:
@@ -447,8 +456,13 @@ class DataPlaneStats:
 
     @property
     def bytes_staged(self) -> int:
-        """Total parent-side staging traffic (copy-in + materialize)."""
-        return self.arena.bytes_copied_in + self.arena.bytes_materialized
+        """Total parent-side staging traffic (copy-in + materialize +
+        any userspace staging around the wire)."""
+        return (
+            self.arena.bytes_copied_in
+            + self.arena.bytes_materialized
+            + self.net.bytes_staged
+        )
 
 
 class ShardPool:
@@ -783,10 +797,28 @@ class ShardPool:
         Exposed for operational tooling and the fault-injection tests
         (which SIGKILL one to prove the pool recovers); the list is a
         snapshot — workers may be respawned at any time.
+
+        Safe against the races the watchdog's ``_kill_workers`` already
+        defends against: the executor's management thread mutates
+        ``_processes`` while workers start and die, ``_executor`` itself
+        is swapped mid-:meth:`_respawn`, and a shut-down executor sets
+        ``_processes`` to ``None``.  The read snapshots one executor
+        reference and copies its process dict under try/except; a
+        torn-down executor yields ``[]``, never an exception.
         """
-        return [
-            process.pid for process in self._executor._processes.values()
-        ]
+        executor = self._executor  # one reference: respawn swaps it
+        try:
+            processes = executor._processes
+            if not processes:
+                return []
+            return [
+                process.pid
+                for process in list(processes.values())
+                if process.pid is not None
+            ]
+        except (AttributeError, TypeError, RuntimeError):
+            # _processes gone (shutdown), None, or mutated mid-copy.
+            return []
 
     # ------------------------------------------------------------------
     # Watchdog / hedged replay

@@ -193,6 +193,20 @@ class TestCommittedBaseline:
         for key in ("watchdog_kills", "brownout_batches"):
             spec = baseline["metrics"][f"test_chaos_recovery_small::{key}"]
             assert spec["direction"] == "min" and spec["value"] >= 1.0
+        # The PR 9 network data-plane acceptance bar, same reasoning one
+        # level up: zero staging copies across the wire and zero frames
+        # lost under a seeded host kill gate as strict maxes (exactly
+        # zero), and host_respawns gates as a strict min so a
+        # silently-disabled revival path fails the build.
+        for key in ("copies_per_frame", "frames_lost"):
+            spec = baseline["metrics"][f"test_network_data_plane_small::{key}"]
+            assert f"test_network_data_plane_small::{key}" in strict
+            assert spec["direction"] == "max" and spec["value"] == 0.0
+        respawns = baseline["metrics"][
+            "test_network_data_plane_small::host_respawns"
+        ]
+        assert "test_network_data_plane_small::host_respawns" in strict
+        assert respawns["direction"] == "min" and respawns["value"] >= 1.0
 
     def test_tracks_the_emitted_data_plane_metrics(self):
         # Guards the gate's wiring from the tier-1 suite (benchmark-side
@@ -220,6 +234,10 @@ class TestCommittedBaseline:
             "test_chaos_recovery_small::frames_lost",
             "test_chaos_recovery_small::watchdog_kills",
             "test_chaos_recovery_small::brownout_batches",
+            "test_network_data_plane_small::copies_per_frame",
+            "test_network_data_plane_small::frames_lost",
+            "test_network_data_plane_small::host_respawns",
+            "test_network_data_plane_small::frames_per_sec",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"

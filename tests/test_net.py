@@ -1,0 +1,257 @@
+"""Wire-protocol framing tests (:mod:`repro.runtime.net`).
+
+The multi-host data plane stands on one claim: a frame round-trips
+through ``sendmsg``/``recv_into`` with **zero** userspace staging
+copies, whatever the payload geometry and however rudely the transport
+fragments it.  The hypothesis property drives random shapes, metadata
+and chunk sizes through a deliberately fragmenting in-memory socket
+(every ``sendmsg`` accepts only a few bytes, every ``recv_into`` yields
+only a few bytes) so the partial-I/O loops are exercised on every
+example — plus a real ``socketpair`` pass, and the taxonomy of corrupt
+frames a peer can throw at us.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WireProtocolError
+from repro.runtime.net import (
+    MAGIC,
+    MSG_ERR,
+    MSG_OK,
+    MSG_PING,
+    MSG_RUN,
+    NetCounters,
+    NetStats,
+    PRELUDE_BYTES,
+    VERSION,
+    recv_message,
+    send_message,
+)
+
+
+class _ChunkySocket:
+    """One direction of an in-memory stream with forced fragmentation.
+
+    ``sendmsg`` accepts at most ``chunk`` bytes per call and
+    ``recv_into`` returns at most ``chunk`` bytes per call, so the
+    framing layer's partial-send and partial-read loops run on every
+    frame (a real loopback socket almost never fragments small frames).
+    """
+
+    def __init__(self, chunk: int):
+        self.chunk = chunk
+        self.buffer = bytearray()
+        self.peer: "_ChunkySocket" = None  # wired by pair()
+        self.closed = False
+
+    @staticmethod
+    def pair(chunk: int):
+        a, b = _ChunkySocket(chunk), _ChunkySocket(chunk)
+        a.peer, b.peer = b, a
+        return a, b
+
+    def sendmsg(self, buffers):
+        budget = self.chunk
+        sent = 0
+        for view in buffers:
+            take = min(budget - sent, view.nbytes)
+            if take <= 0:
+                break
+            self.peer.buffer.extend(view[:take])
+            sent += take
+        return sent
+
+    def recv_into(self, view):
+        if not self.buffer:
+            return 0  # peer "closed": clean EOF
+        take = min(self.chunk, len(self.buffer), view.nbytes)
+        view[:take] = self.buffer[:take]
+        del self.buffer[:take]
+        return take
+
+
+def _roundtrip(msg_type, meta, payload, chunk, sink=None):
+    client, server = _ChunkySocket.pair(chunk)
+    sent_counters = NetCounters()
+    recv_counters = NetCounters()
+    send_message(client, msg_type, meta, payload, counters=sent_counters)
+    frame = recv_message(server, sink=sink, counters=recv_counters)
+    assert frame is not None
+    return frame, sent_counters.stats, recv_counters.stats
+
+
+shapes = st.lists(st.integers(1, 5), min_size=3, max_size=4)
+metas = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(-1000, 1000), st.text(max_size=12), st.none()),
+    max_size=4,
+)
+
+
+class TestFramingRoundTrip:
+    @given(shape=shapes, meta=metas, chunk=st.integers(1, 7), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_any_array_any_meta_any_fragmentation(self, shape, meta, chunk, seed):
+        rng = np.random.default_rng(seed)
+        payload = rng.random(shape, dtype=np.float32)
+        # Exact-size writable sink, as the host pool supplies: the
+        # payload must land in it untouched and nothing may be staged.
+        sink_buffer = np.empty(shape, dtype=np.float32)
+
+        def sink(msg_type, got_meta):
+            assert msg_type == MSG_RUN
+            assert got_meta == meta
+            return sink_buffer
+
+        (msg_type, got_meta, got_payload), sent, received = _roundtrip(
+            MSG_RUN, meta, payload, chunk, sink=sink
+        )
+        assert msg_type == MSG_RUN
+        assert got_meta == meta
+        assert got_payload is sink_buffer
+        np.testing.assert_array_equal(sink_buffer, payload)
+        # Honesty counters: everything sent arrived, nothing staged.
+        assert sent.messages_sent == 1 and received.messages_received == 1
+        assert sent.payload_bytes_sent == payload.nbytes
+        assert received.payload_bytes_received == payload.nbytes
+        assert sent.bytes_sent == received.bytes_received
+        assert sent.bytes_sent > payload.nbytes  # prelude + metadata
+        assert received.bytes_staged == 0
+
+    @given(chunk=st.integers(1, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_sinkless_receive_is_counted_as_staged(self, chunk):
+        payload = np.arange(24, dtype=np.float32)
+        (_, _, got), _, received = _roundtrip(MSG_OK, {}, payload, chunk)
+        assert bytes(got) == payload.tobytes()
+        assert received.bytes_staged == payload.nbytes
+
+    def test_empty_payload_and_meta(self):
+        (msg_type, meta, payload), sent, _ = _roundtrip(MSG_PING, {}, None, 7)
+        assert msg_type == MSG_PING and meta == {} and payload is None
+        assert sent.bytes_sent == PRELUDE_BYTES + len(b"{}")
+
+    def test_back_to_back_frames_on_one_stream(self):
+        client, server = _ChunkySocket.pair(5)
+        send_message(client, MSG_PING, {"n": 1})
+        send_message(client, MSG_OK, {"n": 2}, np.zeros(3, dtype=np.float32))
+        first = recv_message(server)
+        second = recv_message(server)
+        assert first[0] == MSG_PING and first[1] == {"n": 1}
+        assert second[0] == MSG_OK and second[1] == {"n": 2}
+        # Stream drained: the next read reports a clean close.
+        assert recv_message(server) is None
+
+    def test_real_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            payload = np.random.default_rng(3).random((2, 8, 8), dtype=np.float32)
+            out = np.empty_like(payload)
+            counters = NetCounters()
+            send_message(left, MSG_RUN, {"k": "v"}, payload)
+            frame = recv_message(
+                right, sink=lambda t, m: out, counters=counters
+            )
+            assert frame[0] == MSG_RUN and frame[1] == {"k": "v"}
+            np.testing.assert_array_equal(out, payload)
+            assert counters.stats.bytes_staged == 0
+        finally:
+            left.close()
+            right.close()
+
+
+class TestCorruptFrames:
+    def _recv_bytes(self, raw: bytes):
+        client, server = _ChunkySocket.pair(1 << 20)
+        server.buffer.extend(raw)
+        return recv_message(server)
+
+    def test_bad_magic(self):
+        raw = struct.pack(">4sBBHIQ", b"HTTP", VERSION, MSG_PING, 0, 0, 0)
+        with pytest.raises(WireProtocolError, match="magic"):
+            self._recv_bytes(raw)
+
+    def test_version_mismatch(self):
+        raw = struct.pack(">4sBBHIQ", MAGIC, VERSION + 1, MSG_PING, 0, 0, 0)
+        with pytest.raises(WireProtocolError, match="version"):
+            self._recv_bytes(raw)
+
+    def test_unknown_message_type(self):
+        raw = struct.pack(">4sBBHIQ", MAGIC, VERSION, 99, 0, 0, 0)
+        with pytest.raises(WireProtocolError, match="message type"):
+            self._recv_bytes(raw)
+        with pytest.raises(WireProtocolError, match="message type"):
+            send_message(_ChunkySocket.pair(8)[0], 99, {})
+
+    def test_oversized_meta_and_payload_rejected_before_allocation(self):
+        raw = struct.pack(">4sBBHIQ", MAGIC, VERSION, MSG_ERR, 0, 1 << 30, 0)
+        with pytest.raises(WireProtocolError, match="metadata too large"):
+            self._recv_bytes(raw)
+        raw = struct.pack(">4sBBHIQ", MAGIC, VERSION, MSG_OK, 0, 0, 1 << 40)
+        with pytest.raises(WireProtocolError, match="payload too large"):
+            self._recv_bytes(raw)
+
+    def test_undecodable_and_non_object_meta(self):
+        for body in (b"\xff\xfe{", b"[1,2]"):
+            raw = struct.pack(
+                ">4sBBHIQ", MAGIC, VERSION, MSG_PING, 0, len(body), 0
+            ) + body
+            with pytest.raises(WireProtocolError, match="metadata"):
+                self._recv_bytes(raw)
+
+    def test_truncation_mid_prelude_mid_meta_and_mid_payload(self):
+        whole = bytearray()
+        sock, server = _ChunkySocket.pair(1 << 20)
+        send_message(sock, MSG_OK, {"a": 1}, np.zeros(4, dtype=np.float32))
+        whole = bytes(server.buffer)
+        # A clean close before any byte is None, not an error ...
+        assert self._recv_bytes(b"") is None
+        # ... but a close anywhere mid-frame is always truncation.
+        for cut in (1, PRELUDE_BYTES - 1, PRELUDE_BYTES + 2, len(whole) - 1):
+            with pytest.raises(WireProtocolError, match="mid-frame"):
+                self._recv_bytes(whole[:cut])
+
+    def test_mis_sized_and_readonly_sinks_rejected(self):
+        payload = np.zeros(8, dtype=np.float32)
+        with pytest.raises(WireProtocolError, match="sink supplied"):
+            _roundtrip(
+                MSG_OK, {}, payload, 1 << 20,
+                sink=lambda t, m: bytearray(3),
+            )
+        with pytest.raises(WireProtocolError, match="read-only"):
+            _roundtrip(
+                MSG_OK, {}, payload, 1 << 20,
+                sink=lambda t, m: bytes(payload.nbytes),
+            )
+
+    def test_non_contiguous_payload_refused_on_send(self):
+        strided = np.zeros((4, 4), dtype=np.float32)[:, ::2]
+        with pytest.raises(WireProtocolError, match="contiguous"):
+            send_message(_ChunkySocket.pair(8)[0], MSG_OK, {}, strided)
+
+
+class TestNetCounters:
+    def test_snapshot_is_immutable_and_cumulative(self):
+        counters = NetCounters()
+        counters.count_sent(100, 80)
+        counters.count_received(60, 40)
+        counters.count_staged(40)
+        stats = counters.stats
+        assert stats == NetStats(
+            messages_sent=1,
+            messages_received=1,
+            bytes_sent=100,
+            bytes_received=60,
+            payload_bytes_sent=80,
+            payload_bytes_received=40,
+            bytes_staged=40,
+        )
+        counters.count_sent(1, 1)
+        assert stats.messages_sent == 1  # old snapshot unchanged
+        with pytest.raises(AttributeError):
+            stats.bytes_sent = 0

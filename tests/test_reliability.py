@@ -25,7 +25,7 @@ from repro.runtime import (
     ToneMapIngestor,
     ToneMapService,
 )
-from repro.runtime.faults import resolve_injector
+from repro.runtime.faults import NETWORK_FAULT_KINDS, resolve_injector
 from repro.runtime.reliability import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
@@ -124,6 +124,38 @@ class TestFaultPlan:
         assert plan.hang_batches == (2,) and plan.seed == 5
         monkeypatch.delenv("REPRO_FAULT_PLAN")
         assert FaultPlan.from_env() is None
+
+    def test_network_kind_spec_round_trip(self):
+        spec = "host-loss@1,partition@3,slow-link%0.25,jitter_ms=4"
+        plan = FaultPlan.from_spec(spec)
+        assert plan.host_loss_batches == (1,)
+        assert plan.partition_batches == (3,)
+        assert plan.slow_link_probability == 0.25
+        # Hyphen and underscore spellings parse identically; to_spec
+        # emits the hyphen display form and round-trips.
+        underscored = "host_loss@1,partition@3,slow_link%0.25,jitter_ms=4"
+        assert FaultPlan.from_spec(underscored) == plan
+        assert "slow-link" in plan.to_spec()
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+        assert set(NETWORK_FAULT_KINDS) == {
+            "partition", "slow_link", "host_loss"
+        }
+
+    def test_slow_link_jitter_stream_is_independent(self):
+        plan = FaultPlan(jitter_ms=10.0, seed=3)
+        slow = [plan.jitter_s(i) for i in range(8)]
+        link = [plan.jitter_s(i, kind="slow_link") for i in range(8)]
+        # Same seed, distinct streams: a plan jittering both the shard
+        # dispatch and the wire draws different (but replayable) delays.
+        assert slow != link
+        assert link == [plan.jitter_s(i, kind="slow_link") for i in range(8)]
+        assert all(0.005 <= delay <= 0.010 for delay in slow + link)
+
+    def test_network_kinds_are_not_worker_directives(self):
+        # Network faults execute in the *client* pool (hostpool dispatch
+        # loop); a worker handed one must do nothing with it.
+        injector = FaultInjector(FaultPlan(host_loss_batches=(0,)))
+        assert injector.worker_directive(frozenset(NETWORK_FAULT_KINDS)) is None
 
 
 class TestCircuitBreaker:
@@ -305,3 +337,56 @@ class TestBrownoutRouting:
             ToneMapService(PARAMS, shard_timeout_ms=100.0)
         with pytest.raises(ToneMapError):
             ToneMapService(PARAMS, breaker=True)
+
+
+class TestInjectableServiceClock:
+    """Regression: every service timing read goes through the clock.
+
+    Three batch-completion paths formerly read ``time.perf_counter()``
+    directly, so their durations mixed wall time into ``FakeClock``
+    epochs — deadline math drifted and fake-clock tests saw nonzero
+    latencies.  With a never-advanced ``FakeClock`` a correctly routed
+    service must measure every batch as **exactly** 0.0 seconds; any
+    other value means a wall-clock read leaked back in.
+    """
+
+    def _images(self, count, size=24):
+        return [
+            make_scene(
+                "window_interior",
+                SceneParams(height=size, width=size, seed=40 + i),
+            )
+            for i in range(count)
+        ]
+
+    def test_in_process_batches_measure_fake_zero(self):
+        clock = FakeClock(start=123.0)
+        with ToneMapService(PARAMS, batch_size=4, clock=clock) as service:
+            service.run_batch(self._images(4))
+            service.map_many(self._images(3))
+            stats = service.stats
+        assert stats.batches >= 2 and stats.images == 7
+        assert stats.seconds == 0.0
+        assert stats.latency_p95_ms == 0.0
+
+    def test_sharded_submit_stack_measures_fake_zero(self):
+        # The zero-copy admission path (the former direct perf_counter
+        # read in the leased-batch runner) with real workers: wall time
+        # passes in the pool, but the *service* clock never moves.
+        clock = FakeClock()
+        stack = np.random.default_rng(5).random(
+            (4, 24, 24), dtype=np.float32
+        )
+        with ToneMapService(
+            PARAMS, batch_size=4, shards=1, clock=clock
+        ) as service:
+            lease = service.lease_input((24, 24))
+            lease.array[:4] = stack
+            outputs = service.submit_stack(
+                lease, 4, [f"f{i}" for i in range(4)]
+            ).result(timeout=60)
+            assert len(outputs) == 4
+            stats = service.stats
+        assert stats.batches == 1
+        assert stats.seconds == 0.0
+        assert stats.latency_p95_ms == 0.0

@@ -126,6 +126,70 @@ class TestShardPool:
             float_pool.run_stack(np.zeros((8, 8)))
 
 
+class TestWorkerPids:
+    """``worker_pids()`` is an operational probe: it must never raise.
+
+    The regression here: reading ``self._executor._processes`` without
+    a snapshot raced worker respawn (the executor reference is swapped
+    mid-``_respawn``) and pool shutdown (a shut-down executor tears its
+    process dict down), surfacing ``AttributeError`` / ``RuntimeError``
+    from a pure introspection call.
+    """
+
+    def test_live_pool_reports_worker_pids(self, float_pool):
+        pids = float_pool.worker_pids()
+        assert len(pids) == 2
+        assert all(isinstance(pid, int) and pid > 0 for pid in pids)
+
+    def test_closed_pool_returns_empty_list(self):
+        pool = ShardPool(PARAMS, shards=1)
+        pool.run_stack(np.zeros((1, 8, 8), dtype=np.float32))
+        pool.close()
+        assert pool.worker_pids() == []
+
+    def test_concurrent_reads_survive_kill_and_respawn(self):
+        import signal
+        import threading
+
+        stack = np.random.default_rng(0).random(
+            (2, 16, 16), dtype=np.float32
+        )
+        errors = []
+        stop = threading.Event()
+
+        def hammer(pool):
+            while not stop.is_set():
+                try:
+                    for pid in pool.worker_pids():
+                        assert isinstance(pid, int)
+                except Exception as exc:  # the regression: any raise
+                    errors.append(exc)
+                    return
+
+        with ShardPool(PARAMS, shards=2) as pool:
+            pool.run_stack(stack)  # warm: workers up, pids live
+            threads = [
+                threading.Thread(target=hammer, args=(pool,))
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                # Kill a worker mid-hammer; the next batch forces the
+                # pool through crash detection and executor respawn
+                # while worker_pids() readers race both transitions.
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                pool.run_stack(stack)
+                assert pool.worker_respawns >= 1
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+        # Readers also race close() itself (the with-exit above).
+        assert pool.worker_pids() == []
+        assert not errors, f"worker_pids() raised: {errors[0]!r}"
+
+
 class TestZeroCopyDataPlane:
     def test_zero_copy_matches_copy_path_bit_for_bit(self, float_pool):
         stack = np.stack([im.pixels for im in scenes(4, color=False)])
