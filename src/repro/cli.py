@@ -232,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
              "--autoscale)",
     )
     batch.add_argument(
+        "--slo-p95-ms", type=float, default=None,
+        help="declare a p95 latency SLO on the streaming path: an "
+             "overload controller walks the degradation ladder (full -> "
+             "degraded plan -> shed best-effort -> brownout) when the "
+             "observed p95 breaches it, and back when it recovers "
+             "(implies the streaming path)",
+    )
+    batch.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="chaos injection plan, e.g. 'kill@2,hang%%0.05,seed=7' "
              "(kinds: kill/hang/exhaust/slow and, with --hosts, "
@@ -410,6 +418,7 @@ def run_batch(args) -> None:
     from repro.runtime import (
         BreakerPolicy,
         ResultHandle,
+        ServiceLevelObjective,
         ToneMapIngestor,
         ToneMapService,
     )
@@ -439,6 +448,8 @@ def run_batch(args) -> None:
         )
     if args.breaker is not None and args.breaker < 1:
         raise SystemExit(f"--breaker must be >= 1, got {args.breaker}")
+    if args.slo_p95_ms is not None and args.slo_p95_ms <= 0:
+        raise SystemExit(f"--slo-p95-ms must be > 0, got {args.slo_p95_ms}")
     hosts = None
     if args.hosts is not None:
         if args.shards is not None or args.autoscale:
@@ -530,6 +541,7 @@ def run_batch(args) -> None:
         or args.per_tenant_queue_limit is not None
         or args.lease_results
         or args.deadline_ms is not None
+        or args.slo_p95_ms is not None
     )
     shards = args.shards
     if args.lease_results and shards is None and hosts is None \
@@ -611,6 +623,10 @@ def run_batch(args) -> None:
                 per_tenant_queue_limit=args.per_tenant_queue_limit,
                 lease_results=args.lease_results,
                 default_deadline_ms=args.deadline_ms,
+                overload=(
+                    None if args.slo_p95_ms is None
+                    else ServiceLevelObjective(p95_ms=args.slo_p95_ms)
+                ),
             ) as ingestor:
                 futures = []
                 for index, image in enumerate(images):
@@ -709,11 +725,13 @@ def run_batch(args) -> None:
         args.deadline_ms is not None
         or args.shard_timeout_ms is not None
         or args.breaker is not None
+        or args.slo_p95_ms is not None
         or fault_plan is not None
         or reliability.deadline_shed
         or reliability.hedged_replays
         or reliability.watchdog_kills
         or reliability.brownout_batches
+        or reliability.ladder_transitions
     )
     if reliability_on:
         print(f"  deadline shed : {reliability.deadline_shed}"
@@ -723,6 +741,9 @@ def run_batch(args) -> None:
         print(f"  breaker       : {reliability.breaker_state} "
               f"({reliability.breaker_transitions} transition(s), "
               f"{reliability.brownout_batches} brownout batch(es))")
+        print(f"  ladder        : {reliability.ladder_rung} "
+              f"({reliability.ladder_transitions} transition(s), "
+              f"{reliability.ladder_shed} best-effort shed)")
         if fault_plan is not None:
             print(f"  fault plan    : {fault_plan.to_spec()}")
     if args.output_dir is not None:
@@ -741,7 +762,12 @@ def run_serve_host(args) -> int:
     Runs one :class:`~repro.runtime.hostpool.HostServer` in the
     foreground until interrupted; prints the bound ``host:port`` so a
     ``batch --hosts`` client (possibly on another machine) can connect.
+    SIGTERM / SIGINT trigger a graceful drain: in-flight batches are
+    answered, then the shard pool and its ``/dev/shm`` arena segments
+    are released — so an orchestrator's stop never leaks shared memory.
     """
+    import signal as _signal
+
     from repro.errors import ToneMapError
     from repro.runtime.hostpool import HostServer
     from repro.tonemap.fixed_blur import FixedBlurConfig
@@ -778,12 +804,20 @@ def run_serve_host(args) -> int:
         raise SystemExit(f"serve-host: {exc}") from exc
     host, port = server.address
     print(f"serving {args.shards} shard(s) on {host}:{port}", flush=True)
+
+    def _graceful(signum, frame):
+        # Unwind into the finally below so drain() runs — SIGKILL is
+        # the only way to leave arena segments behind now.
+        raise SystemExit(0)
+
+    _signal.signal(_signal.SIGTERM, _graceful)
+    _signal.signal(_signal.SIGINT, _graceful)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - pre-handler race
         pass
     finally:
-        server.close()
+        server.drain()
     return 0
 
 

@@ -80,6 +80,23 @@ hosts=2)`` spawns a local fleet; ``repro-experiments serve-host``
 runs one serving host; chaos plans gain ``partition`` / ``slow-link``
 / ``host-loss`` kinds.
 
+**Overload-graceful serving** (PR 10) keeps the stack honest when
+demand exceeds capacity: ``submit(..., priority=...)`` classes frames
+as :class:`~repro.runtime.ingest.ServiceClass` (interactive /
+standard / best_effort) with earliest-deadline-first ordering inside
+each tenant queue and class-aware shedding (best-effort goes first,
+interactive never before its deadline); an
+:class:`~repro.runtime.overload.OverloadController` watches p95 and
+queue depth against a declared
+:class:`~repro.runtime.overload.ServiceLevelObjective` and walks the
+four-rung degradation ladder (full → degraded plan → shed best-effort
+→ brownout, hysteresis both ways), surfaced in ``ReliabilityStats``
+and mirrored by the advisory host-level autoscaler on ``HostPool``;
+and ``drain()`` on every layer plus
+:meth:`~repro.runtime.hostpool.HostPool.rolling_restart` give a
+zero-loss graceful shutdown and host-at-a-time restart path
+(chaos-gated by ``bench_runtime.py::test_rolling_restart_small``).
+
 Wired into the CLI as ``repro-experiments batch`` (``--shards``,
 ``--max-delay-ms``, ``--queue-limit``, ``--policy``,
 ``--tenant-weights``, ``--per-tenant-queue-limit``,
@@ -113,8 +130,15 @@ from repro.runtime.net import NetStats
 from repro.runtime.ingest import (
     BackpressurePolicy,
     DeficitRoundRobin,
+    ServiceClass,
     TenantConfig,
     ToneMapIngestor,
+)
+from repro.runtime.overload import (
+    LADDER,
+    OverloadController,
+    OverloadPolicy,
+    ServiceLevelObjective,
 )
 from repro.runtime.reliability import (
     BreakerPolicy,
@@ -151,10 +175,15 @@ __all__ = [
     "HostPool",
     "HostServer",
     "HostUnavailableError",
+    "LADDER",
     "MonotonicClock",
     "NetStats",
+    "OverloadController",
+    "OverloadPolicy",
     "ReliabilityStats",
     "ResultHandle",
+    "ServiceClass",
+    "ServiceLevelObjective",
     "ServiceOverloadedError",
     "ServiceStats",
     "ShardAutoscaler",

@@ -96,7 +96,12 @@ from repro.runtime.net import (
     recv_message,
     send_message,
 )
-from repro.runtime.shard import DataPlaneStats, ShardPool
+from repro.runtime.shard import (
+    AutoscalePolicy,
+    DataPlaneStats,
+    ShardAutoscaler,
+    ShardPool,
+)
 from repro.tonemap.fixed_blur import FixedBlurConfig
 from repro.tonemap.pipeline import ToneMapParams
 
@@ -180,6 +185,10 @@ class HostServer:
         self._conn_lock = threading.Lock()
         self._conns: set = set()
         self._threads: List[threading.Thread] = []
+        # In-flight RUN requests; drain() waits for this to hit zero so
+        # a SIGTERM never swallows a reply the client is owed.
+        self._run_state = threading.Condition()
+        self._active_runs = 0
         try:
             self._listener = socket.create_server((bind, port))
         except OSError:
@@ -310,6 +319,18 @@ class HostServer:
 
     def _serve_run(self, conn: socket.socket, meta: dict, holder: dict) -> None:
         """Execute one received batch and send the reply frame."""
+        with self._run_state:
+            self._active_runs += 1
+        try:
+            self._serve_run_counted(conn, meta, holder)
+        finally:
+            with self._run_state:
+                self._active_runs -= 1
+                self._run_state.notify_all()
+
+    def _serve_run_counted(
+        self, conn: socket.socket, meta: dict, holder: dict
+    ) -> None:
         in_lease: ArenaLease = holder["lease"]
         timeout = meta.get("timeout")
         try:
@@ -357,6 +378,32 @@ class HostServer:
         lease = holder.pop("lease", None)
         if lease is not None:
             lease.release()
+
+    def drain(self, timeout_s: float = 30.0) -> None:
+        """Graceful stop: refuse new connections, answer in-flight
+        requests, then :meth:`close`.
+
+        The difference from a bare :meth:`close`: the listener goes
+        down first (new clients are refused), but a RUN request already
+        executing gets to send its reply before the connection is torn
+        — so a host stopped this way (the ``serve-host`` SIGTERM /
+        SIGINT handlers call it) loses zero frames.  ``timeout_s``
+        bounds the wait so a hung worker cannot hold shutdown hostage;
+        :meth:`close` (which this ends in) still releases the pool's
+        ``/dev/shm`` arena segments either way.
+        """
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        deadline = time.monotonic() + timeout_s
+        with self._run_state:
+            while self._active_runs > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._run_state.wait(timeout=min(remaining, 0.5))
+        self.close()
 
     def close(self) -> None:
         """Stop accepting, drop live connections, shut the pool down."""
@@ -413,7 +460,9 @@ def _host_main(pipe, kwargs: dict) -> None:
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         pass
     finally:
-        server.close()
+        # Drain, not close: a SIGTERM mid-batch still answers the
+        # client before the pool (and its shm segments) go away.
+        server.drain()
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +479,7 @@ class _Host:
         "lock",
         "alive",
         "reviving",
+        "draining",
         "partitioned",
     )
 
@@ -441,6 +491,7 @@ class _Host:
         self.lock = threading.Lock()  # serializes this host's wire I/O
         self.alive = True
         self.reviving = False
+        self.draining = False  # excluded from routing (rolling restart)
         self.partitioned = False  # armed by the partition fault
 
     @property
@@ -491,6 +542,14 @@ class HostPool:
         (``partition`` / ``slow_link`` / ``host_loss``) client-side.
     clock:
         Injectable time source shared with the reliability machinery.
+    autoscale_policy:
+        Optional :class:`~repro.runtime.shard.AutoscalePolicy` driving
+        an **advisory** host-level autoscaler: :meth:`observe` feeds
+        queue depth / p95 into it and returns the host count it
+        recommends.  Membership stays static — the pool cannot add
+        machines — but the recommendation and its ``scale_ups`` /
+        ``scale_downs`` counters tell an operator (or a future
+        provisioner) when the host set is under- or over-sized.
     """
 
     def __init__(
@@ -504,6 +563,7 @@ class HostPool:
         revive_wait_s: float = 30.0,
         faults=None,
         clock: Clock = MONOTONIC,
+        autoscale_policy: Optional[AutoscalePolicy] = None,
         _processes: Optional[Sequence] = None,
         _spawn_kwargs: Optional[dict] = None,
         _spawn_context=None,
@@ -542,10 +602,26 @@ class HostPool:
         self._spawn_kwargs = _spawn_kwargs
         self._spawn_context = _spawn_context
         self._closed = False
+        self._draining = False
+        self._in_flight = 0
         # Guards host liveness/membership; revivals notify waiters in
-        # _pick_host that a host came back.
+        # _pick_host that a host came back, drain waits here for
+        # _in_flight to reach zero.
         self._state = threading.Condition()
         self._revive_threads: List[threading.Thread] = []
+        # Advisory host-level autoscaler: reuses the shard-level
+        # controller's hysteresis, but the recommendation is surfaced,
+        # not acted on (host membership is static).
+        self._host_autoscaler = (
+            ShardAutoscaler(autoscale_policy)
+            if autoscale_policy is not None
+            else None
+        )
+        self._scale_lock = threading.Lock()
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._recommended = len(addresses)
+        self._hosts_drained = 0
         self._count_lock = threading.Lock()
         self._batches = 0
         self._frames = 0
@@ -575,6 +651,7 @@ class HostPool:
         revive_wait_s: float = 30.0,
         faults=None,
         clock: Clock = MONOTONIC,
+        autoscale_policy: Optional[AutoscalePolicy] = None,
     ) -> "HostPool":
         """Start ``count`` localhost host processes and route over them.
 
@@ -626,6 +703,7 @@ class HostPool:
             revive_wait_s=revive_wait_s,
             faults=injector,
             clock=clock,
+            autoscale_policy=autoscale_policy,
             _processes=processes,
             _spawn_kwargs=spawn_kwargs,
             _spawn_context=context,
@@ -636,28 +714,60 @@ class HostPool:
     # ------------------------------------------------------------------
     @property
     def autoscaling(self) -> bool:
-        """Host pools never autoscale the host set (static membership)."""
-        return False
+        """Whether an advisory host-level autoscaler is attached."""
+        return self._host_autoscaler is not None
 
     @property
     def active_shards(self) -> int:
         """Live hosts a batch can currently route to."""
         with self._state:
-            return sum(1 for host in self._hosts if host.alive)
+            return sum(
+                1 for host in self._hosts
+                if host.alive and not host.draining
+            )
 
     @property
     def scale_ups(self) -> int:
-        return 0
+        """Times the advisory autoscaler recommended growing the set."""
+        with self._scale_lock:
+            return self._scale_ups
 
     @property
     def scale_downs(self) -> int:
-        return 0
+        """Times the advisory autoscaler recommended shrinking the set."""
+        with self._scale_lock:
+            return self._scale_downs
 
     def observe(
         self, queue_depth: int, p95_ms: Optional[float] = None
     ) -> int:
-        """Load observations are a no-op (no host-set autoscaler)."""
-        return self.active_shards
+        """Feed one load observation to the advisory host autoscaler.
+
+        Returns the host count the policy currently recommends.  The
+        pool does **not** act on it — host membership is static — but
+        the overload machinery and operators read the recommendation
+        (and the ``scale_ups`` / ``scale_downs`` counters) to tell
+        when the host set is sized wrong for the offered load.
+        Without a policy this is a no-op returning the live host count.
+        """
+        if self._host_autoscaler is None:
+            return self.active_shards
+        with self._scale_lock:
+            target = self._host_autoscaler.observe(
+                self._recommended, queue_depth, p95_ms
+            )
+            if target > self._recommended:
+                self._scale_ups += 1
+            elif target < self._recommended:
+                self._scale_downs += 1
+            self._recommended = target
+            return target
+
+    @property
+    def recommended_hosts(self) -> int:
+        """Latest host-count recommendation (static without a policy)."""
+        with self._scale_lock:
+            return self._recommended
 
     @property
     def worker_respawns(self) -> int:
@@ -756,6 +866,31 @@ class HostPool:
         payload = in_lease.array[:count]
         if timeout is None:
             timeout = self._default_timeout_s
+        with self._state:
+            if self._draining or self._closed:
+                raise ToneMapError(
+                    "host pool is draining"
+                    if self._draining and not self._closed
+                    else "host pool is closed"
+                )
+            self._in_flight += 1
+        try:
+            return self._run_leased_admitted(
+                payload, run_shape, count, retries, timeout
+            )
+        finally:
+            with self._state:
+                self._in_flight -= 1
+                self._state.notify_all()
+
+    def _run_leased_admitted(
+        self,
+        payload: np.ndarray,
+        run_shape: tuple,
+        count: int,
+        retries: int,
+        timeout: Optional[float],
+    ) -> ArenaLease:
         spare = retries
         hedge_spare = self._timeout_retries
         start = self._clock.now()
@@ -912,7 +1047,10 @@ class HostPool:
         deadline = time.monotonic() + self._revive_wait_s
         with self._state:
             while True:
-                live = [host for host in self._hosts if host.alive]
+                live = [
+                    host for host in self._hosts
+                    if host.alive and not host.draining
+                ]
                 if live:
                     preferred = (
                         [host for host in live if host is not avoid] or live
@@ -1185,6 +1323,94 @@ class HostPool:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def hosts_drained(self) -> int:
+        """Hosts cycled through a graceful drain by ``rolling_restart``."""
+        with self._count_lock:
+            return self._hosts_drained
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight, close.
+
+        New ``run_leased`` calls are refused immediately with
+        :class:`~repro.errors.ToneMapError`; batches already admitted
+        run to completion (including their replay/hedge budgets)
+        before :meth:`close` tears the pool down.  ``close`` joins the
+        revive threads, so a drain never leaves a reviver behind.
+        Idempotent; concurrent with ``close`` the stricter one wins.
+        """
+        with self._state:
+            if self._closed:
+                return
+            self._draining = True
+            while self._in_flight > 0 and not self._closed:
+                self._state.wait(timeout=0.5)
+        self.close()
+
+    def rolling_restart(self) -> int:
+        """Restart every owned host process, one at a time, zero-loss.
+
+        For each host in turn: take it out of the routing set
+        (``draining``), then — holding ``host.lock`` so any exchange
+        currently on its wire finishes first — terminate the process,
+        spawn a replacement with the same recipe, and install the new
+        address.  Peers absorb the traffic meanwhile: ``_pick_host``
+        skips draining hosts, and a batch that raced onto this host
+        just before the flag flipped either completes on the old
+        process (the swap waits for the lock) or reconnects to the new
+        address (``_connect`` reads ``host.address`` under the lock).
+        Either way no admitted frame is lost — the chaos benchmark
+        ``test_rolling_restart_small`` gates ``frames_lost == 0``.
+
+        Returns the number of hosts restarted.  Raises
+        :class:`~repro.errors.ToneMapError` when the pool does not own
+        its host processes (external hosts restart externally).
+        """
+        if self._spawn_kwargs is None or self._spawn_context is None:
+            raise ToneMapError(
+                "rolling_restart needs a pool that owns its host "
+                "processes (HostPool.spawn_local / ToneMapService(hosts=N))"
+            )
+        restarted = 0
+        for host in self._hosts:
+            with self._state:
+                if self._closed:
+                    break
+                # A host mid-revival is already being replaced; wait
+                # briefly for the reviver, then skip it if still busy.
+                deadline = time.monotonic() + self._revive_wait_s
+                while host.reviving and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._state.wait(timeout=min(remaining, 0.5))
+                if self._closed or host.reviving:
+                    continue
+                host.draining = True
+            try:
+                with host.lock:
+                    self._close_sock(host)
+                    _terminate_host(host.process)
+                    address, process = _spawn_host(
+                        self._spawn_context, self._spawn_kwargs
+                    )
+                    with self._state:
+                        if self._closed:
+                            _terminate_host(process)
+                            break
+                        host.address = address
+                        host.process = process
+                        host.alive = True
+                        host.partitioned = False
+                restarted += 1
+                with self._count_lock:
+                    self._hosts_drained += 1
+            finally:
+                with self._state:
+                    host.draining = False
+                    self._state.notify_all()
+        return restarted
+
     def close(self) -> None:
         """Drop connections, stop owned host processes, close the arena.
 

@@ -58,6 +58,34 @@ consumer cannot be trusted to release a slab promptly); with
 explicitly releases back to the slab ring.  In-process services keep
 the parked-images copy path (``zero_copy=False``).
 
+**Service classes and EDF.**  Each submission also carries a
+:class:`ServiceClass` (``interactive`` / ``standard`` / ``best_effort``,
+the ``priority=`` argument).  Classes layer *on top of* DRR, they do not
+replace it: fairness still decides how many seats each tenant gets per
+batch, and the class + deadline decide *which* of the tenant's queued
+frames fill those seats — earliest absolute deadline first, class rank
+breaking ties (EDF inside the tenant queue).  Shedding is class-aware
+in the same spirit: ``shed-oldest`` victimizes best-effort frames
+first, then standard, and an interactive frame is never shed before its
+deadline has actually expired.
+
+**Overload ladder.**  With ``overload=`` set, an
+:class:`~repro.runtime.overload.OverloadController` watches the
+end-to-end p95 and queue depth after every completed batch and walks
+the degradation ladder (full → degraded plan → shed best-effort →
+brownout) with hysteresis; the ingestor applies each rung — pinning the
+service onto a cheaper plan, suspending best-effort admission and
+dropping queued best-effort frames, forcing brownout — and surfaces
+``ladder_rung`` / ``ladder_transitions`` / ``ladder_shed`` on
+:class:`~repro.runtime.reliability.ReliabilityStats`.
+
+**Drain.**  :meth:`drain` is the zero-loss shutdown: stop admitting,
+fail queued best-effort frames with one deterministic
+:class:`~repro.errors.ServiceOverloadedError`, serve every queued
+interactive/standard frame to a real result, wait for in-flight
+batches, stop the scheduler.  :meth:`close` keeps its old contract
+(flush *everything*, including best-effort).
+
 Queue depth, reject/shed counts, end-to-end latency percentiles, and the
 per-tenant breakdown (:class:`~repro.runtime.service.TenantStats`,
 including Jain's ``fairness_index``) are reported on
@@ -87,6 +115,14 @@ from repro.errors import (
 )
 from repro.image.hdr import HDRImage
 from repro.runtime.clock import MONOTONIC, Clock
+from repro.runtime.overload import (
+    LADDER_FULL,
+    LADDER_SHED,
+    OverloadController,
+    OverloadPolicy,
+    ServiceLevelObjective,
+    rung_index,
+)
 from repro.runtime.service import (
     LATENCY_WINDOW,
     ServiceStats,
@@ -105,6 +141,68 @@ class BackpressurePolicy(enum.Enum):
     BLOCK = "block"
     REJECT = "reject"
     SHED_OLDEST = "shed-oldest"
+
+
+class ServiceClass(enum.Enum):
+    """Priority class of one submission.
+
+    The class decides two things: EDF tie-breaking inside a tenant's
+    queue (interactive frames outrank standard outrank best-effort when
+    deadlines are equal or absent) and shed order (best-effort sheds
+    first, standard next; an interactive frame is only ever shed once
+    its own deadline has expired).  It never changes how many seats a
+    tenant gets — that stays DRR's job.
+    """
+
+    INTERACTIVE = "interactive"
+    STANDARD = "standard"
+    BEST_EFFORT = "best_effort"
+
+
+#: EDF tie-break rank: lower serves first.
+_CLASS_RANK = {
+    ServiceClass.INTERACTIVE: 0,
+    ServiceClass.STANDARD: 1,
+    ServiceClass.BEST_EFFORT: 2,
+}
+
+#: Shed preference: lower sheds first.
+_SHED_RANK = {
+    ServiceClass.BEST_EFFORT: 0,
+    ServiceClass.STANDARD: 1,
+    ServiceClass.INTERACTIVE: 2,
+}
+
+#: Ladder index at and above which best-effort admission is suspended.
+_SHED_INDEX = rung_index(LADDER_SHED)
+
+
+def _coerce_class(
+    priority: Union["ServiceClass", str, None]
+) -> "ServiceClass":
+    """Accept a ServiceClass, its string value, or None (standard)."""
+    if priority is None:
+        return ServiceClass.STANDARD
+    if isinstance(priority, ServiceClass):
+        return priority
+    if isinstance(priority, str):
+        try:
+            return ServiceClass(priority.replace("-", "_"))
+        except ValueError:
+            pass
+    raise ToneMapError(
+        f"priority must be a ServiceClass or one of "
+        f"{[c.value for c in ServiceClass]}, got {priority!r}"
+    )
+
+
+def _edf_key(pending: "_Pending"):
+    """Earliest deadline first; class rank, then arrival, break ties."""
+    return (
+        pending.deadline if pending.deadline is not None else float("inf"),
+        _CLASS_RANK[pending.service_class],
+        pending.enqueued_at,
+    )
 
 
 @dataclass(frozen=True)
@@ -228,6 +326,7 @@ class _Pending:
     tenant: str
     #: Absolute (clock-relative) latency deadline, or None for no budget.
     deadline: Optional[float] = None
+    service_class: ServiceClass = ServiceClass.STANDARD
 
 
 class _TenantState:
@@ -321,6 +420,14 @@ class ToneMapIngestor:
         does not pass its own ``deadline_ms``.  ``None`` (the default)
         stamps no budget — frames wait indefinitely, exactly the old
         behaviour.
+    overload:
+        Enables the SLO degradation ladder: a
+        :class:`~repro.runtime.overload.ServiceLevelObjective` (wrapped
+        in a default policy), an
+        :class:`~repro.runtime.overload.OverloadPolicy`, or a
+        pre-built :class:`~repro.runtime.overload.OverloadController`
+        (shared controllers let several ingestors walk one ladder).
+        ``None`` (the default) disables the ladder entirely.
     clock:
         Injectable monotonic time source (:mod:`repro.runtime.clock`);
         every ingestor timestamp — enqueue times, coalescing deadlines,
@@ -342,6 +449,9 @@ class ToneMapIngestor:
         lease_results: bool = False,
         max_inflight_batches: Optional[int] = None,
         default_deadline_ms: Optional[float] = None,
+        overload: Optional[
+            Union[OverloadController, OverloadPolicy, ServiceLevelObjective]
+        ] = None,
         clock: Optional[Clock] = None,
     ):
         if max_delay_ms < 0:
@@ -382,6 +492,19 @@ class ToneMapIngestor:
         self.queue_limit = queue_limit
         self.default_deadline_ms = default_deadline_ms
         self._clock = clock if clock is not None else MONOTONIC
+        if overload is None or isinstance(overload, OverloadController):
+            self._overload = overload
+        elif isinstance(overload, OverloadPolicy):
+            self._overload = OverloadController(overload, clock=self._clock)
+        elif isinstance(overload, ServiceLevelObjective):
+            self._overload = OverloadController(
+                OverloadPolicy(slo=overload), clock=self._clock
+            )
+        else:
+            raise ToneMapError(
+                "overload must be an OverloadController, OverloadPolicy "
+                f"or ServiceLevelObjective, got {type(overload)!r}"
+            )
         self.policy = BackpressurePolicy(policy)
         self.zero_copy = bool(zero_copy)
         self.lease_results = bool(lease_results)
@@ -401,10 +524,13 @@ class ToneMapIngestor:
         self._in_flight = 0
         self._dispatched = 0
         self._closed = False
+        self._draining = False
         self._queue_peak = 0
         self._rejected = 0
         self._shed = 0
         self._deadline_shed = 0
+        self._ladder_rung = LADDER_FULL
+        self._ladder_shed = 0
         # One coalesced shed-storm error context per binding scope (a
         # tenant name, or None for the global limit), reset at the next
         # dispatch — see _shed_one_locked.
@@ -450,6 +576,7 @@ class ToneMapIngestor:
         image: HDRImage,
         tenant: str = DEFAULT_TENANT,
         deadline_ms: Optional[float] = None,
+        priority: Optional[Union[ServiceClass, str]] = None,
     ) -> "Future[HDRImage]":
         """Admit one image (blocking API); resolves to its output.
 
@@ -463,9 +590,16 @@ class ToneMapIngestor:
         fails with :class:`~repro.errors.DeadlineExceededError` and its
         slot frees immediately — and whatever budget remains at dispatch
         rides into the shard pool as the batch's execution timeout.
+
+        ``priority`` names the frame's :class:`ServiceClass` (enum or
+        string; default ``standard``): EDF rank inside the tenant queue
+        and shed protection — see the module docstring.  Best-effort
+        frames are rejected outright while the overload ladder sits at
+        ``shed_best_effort`` or above.
         """
         if not isinstance(image, HDRImage):
             raise ToneMapError(f"expected HDRImage, got {type(image)!r}")
+        service_class = _coerce_class(priority)
         if deadline_ms is None:
             deadline_ms = self.default_deadline_ms
         if deadline_ms is not None and deadline_ms <= 0:
@@ -473,9 +607,25 @@ class ToneMapIngestor:
                 f"deadline_ms must be > 0, got {deadline_ms}"
             )
         with self._lock:
-            if self._closed:
-                raise ToneMapError("ingestor is closed")
+            if self._closed or self._draining:
+                raise ToneMapError(
+                    "ingestor is draining" if self._draining
+                    else "ingestor is closed"
+                )
             state = self._tenant_locked(tenant)
+            if (
+                service_class is ServiceClass.BEST_EFFORT
+                and self._overload is not None
+                and rung_index(self._ladder_rung) >= _SHED_INDEX
+            ):
+                state.rejected += 1
+                self._rejected += 1
+                self._ladder_shed += 1
+                raise ServiceOverloadedError(
+                    "best-effort admission suspended by the overload "
+                    f"ladder (rung={self._ladder_rung})",
+                    tenant=tenant,
+                )
             while True:
                 over_tenant = (
                     state.queue_limit is not None
@@ -512,8 +662,11 @@ class ToneMapIngestor:
                 # BLOCK, or SHED_OLDEST with nothing left to shed (every
                 # admitted image is already executing): wait for a slot.
                 self._space.wait()
-                if self._closed:
-                    raise ToneMapError("ingestor is closed")
+                if self._closed or self._draining:
+                    raise ToneMapError(
+                        "ingestor is draining" if self._draining
+                        else "ingestor is closed"
+                    )
             now = self._clock.now()
             pending = _Pending(
                 image.name,
@@ -524,6 +677,7 @@ class ToneMapIngestor:
                 deadline=(
                     None if deadline_ms is None else now + deadline_ms / 1e3
                 ),
+                service_class=service_class,
             )
             shape = image.pixels.shape
             state.queues.setdefault(shape, deque()).append(pending)
@@ -541,6 +695,7 @@ class ToneMapIngestor:
         image: HDRImage,
         tenant: str = DEFAULT_TENANT,
         deadline_ms: Optional[float] = None,
+        priority: Optional[Union[ServiceClass, str]] = None,
     ) -> HDRImage:
         """Admit one image from an event loop; returns the output.
 
@@ -550,7 +705,7 @@ class ToneMapIngestor:
         """
         loop = asyncio.get_running_loop()
         future = await loop.run_in_executor(
-            None, lambda: self.submit(image, tenant, deadline_ms)
+            None, lambda: self.submit(image, tenant, deadline_ms, priority)
         )
         return await asyncio.wrap_future(future)
 
@@ -559,6 +714,7 @@ class ToneMapIngestor:
         images: Sequence[HDRImage],
         tenant: str = DEFAULT_TENANT,
         deadline_ms: Optional[float] = None,
+        priority: Optional[Union[ServiceClass, str]] = None,
     ) -> list:
         """Submit many images one by one and wait for all outputs in order.
 
@@ -568,7 +724,8 @@ class ToneMapIngestor:
         ``deadline_ms`` as :class:`~repro.errors.DeadlineExceededError`.
         """
         futures = [
-            self.submit(image, tenant, deadline_ms) for image in images
+            self.submit(image, tenant, deadline_ms, priority)
+            for image in images
         ]
         return [future.result() for future in futures]
 
@@ -578,18 +735,24 @@ class ToneMapIngestor:
     def _shed_one_locked(
         self, state: Optional[_TenantState] = None
     ) -> bool:
-        """Drop the oldest still-queued frame; True if one was shed.
+        """Drop one still-queued frame, class-aware; True if one was shed.
 
-        ``state`` narrows the search to one tenant (its own limit was
-        hit); ``None`` sheds the globally oldest.  Victims of one storm
-        share a single coalesced :class:`ServiceOverloadedError` — the
-        context is created once per storm (reset at the next dispatch)
-        and its ``shed_count`` grows per victim while the storm lasts,
-        so a thousand-frame storm does not build a thousand exception
-        objects (the price of sharing: ``shed_count`` is a live storm
-        counter, not a per-victim snapshot).  Storms are coalesced *per
-        binding scope*: each tenant limit gets its own context (its
-        ``tenant`` names that tenant) and the global limit gets its own
+        The victim is the *oldest frame of the most sheddable class*
+        present: best-effort frames go first, then standard, and an
+        interactive frame is only ever a candidate once its own
+        deadline has already expired — a queue of purely standard
+        frames therefore sheds exactly the oldest frame, the pre-class
+        behaviour.  ``state`` narrows the search to one tenant (its own
+        limit was hit); ``None`` sheds across all tenants.  Victims of
+        one storm share a single coalesced
+        :class:`ServiceOverloadedError` — the context is created once
+        per storm (reset at the next dispatch) and its ``shed_count``
+        grows per victim while the storm lasts, so a thousand-frame
+        storm does not build a thousand exception objects (the price of
+        sharing: ``shed_count`` is a live storm counter, not a
+        per-victim snapshot).  Storms are coalesced *per binding
+        scope*: each tenant limit gets its own context (its ``tenant``
+        names that tenant) and the global limit gets its own
         (``tenant=None``, since it may shed several tenants' frames) —
         concurrent storms never cross-attribute metadata.  Queued
         frames hold no arena slots (the producer write happens at
@@ -597,21 +760,36 @@ class ToneMapIngestor:
         the slot-accounting tests assert exactly that.
         """
         candidates = [state] if state is not None else self._tenants.values()
+        now = self._clock.now()
         victim_state: Optional[_TenantState] = None
         victim_shape: Optional[tuple] = None
-        oldest: Optional[float] = None
+        victim_index: Optional[int] = None
+        best: Optional[tuple] = None
         for tenant_state in candidates:
             for shape, queue in tenant_state.queues.items():
-                if queue and (
-                    oldest is None or queue[0].enqueued_at < oldest
-                ):
-                    oldest = queue[0].enqueued_at
-                    victim_state = tenant_state
-                    victim_shape = shape
+                for index, pending in enumerate(queue):
+                    if (
+                        pending.service_class is ServiceClass.INTERACTIVE
+                        and not (
+                            pending.deadline is not None
+                            and pending.deadline <= now
+                        )
+                    ):
+                        continue  # interactive never sheds pre-deadline
+                    key = (
+                        _SHED_RANK[pending.service_class],
+                        pending.enqueued_at,
+                    )
+                    if best is None or key < best:
+                        best = key
+                        victim_state = tenant_state
+                        victim_shape = shape
+                        victim_index = index
         if victim_state is None:
             return False
         queue = victim_state.queues[victim_shape]
-        victim = queue.popleft()
+        victim = queue[victim_index]
+        del queue[victim_index]
         if not queue:
             del victim_state.queues[victim_shape]
         self._shape_totals[victim_shape] -= 1
@@ -694,6 +872,62 @@ class ToneMapIngestor:
                         del state.queues[shape]
                     self._space.notify_all()
 
+    def _shed_class_locked(
+        self, service_class: ServiceClass, reason: str, ladder: bool
+    ) -> int:
+        """Drop every queued frame of one class; returns the count.
+
+        Used when the overload ladder enters ``shed_best_effort``
+        (``ladder=True``, counted in ``ladder_shed``) and by
+        :meth:`drain` (``ladder=False``).  All victims share one
+        deterministic coalesced
+        :class:`~repro.errors.ServiceOverloadedError` naming ``reason``.
+        """
+        storm: Optional[ServiceOverloadedError] = None
+        dropped = 0
+        for state in self._tenants.values():
+            for shape in list(state.queues):
+                queue = state.queues[shape]
+                victims = [
+                    pending for pending in queue
+                    if pending.service_class is service_class
+                ]
+                if not victims:
+                    continue
+                survivors = deque(
+                    pending for pending in queue
+                    if pending.service_class is not service_class
+                )
+                self._shape_totals[shape] -= len(victims)
+                if self._shape_totals[shape] <= 0:
+                    del self._shape_totals[shape]
+                state.in_flight -= len(victims)
+                state.shed += len(victims)
+                self._in_flight -= len(victims)
+                self._shed += len(victims)
+                if ladder:
+                    self._ladder_shed += len(victims)
+                if storm is None:
+                    storm = ServiceOverloadedError(
+                        f"{service_class.value} frame dropped ({reason})",
+                        tenant=None,
+                    )
+                for victim in victims:
+                    storm.shed_count += 1
+                    victim.image = None
+                    try:
+                        victim.future.set_exception(storm)
+                    except futures_module.InvalidStateError:
+                        pass  # the caller cancelled it first
+                dropped += len(victims)
+                if survivors:
+                    state.queues[shape] = survivors
+                else:
+                    del state.queues[shape]
+        if dropped:
+            self._space.notify_all()
+        return dropped
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -706,7 +940,14 @@ class ToneMapIngestor:
         )
 
     def _select_locked(self, shape: tuple, seats: int) -> List[_Pending]:
-        """Pop one batch's frames for ``shape``, seats granted by DRR."""
+        """Pop one batch's frames for ``shape``, seats granted by DRR.
+
+        DRR decides how many seats each tenant gets; EDF decides which
+        of the tenant's queued frames take them (earliest deadline
+        first, class rank then arrival breaking ties).  The frames left
+        behind keep their arrival order — ``_oldest_locked`` and the
+        shed scan rely on queues staying arrival-ordered.
+        """
         queued = {
             name: len(state.queues[shape])
             for name, state in self._tenants.items()
@@ -717,8 +958,25 @@ class ToneMapIngestor:
         items: List[_Pending] = []
         for name, take in grants.items():
             queue = self._tenants[name].queues[shape]
-            for _ in range(take):
-                items.append(queue.popleft())
+            if take >= len(queue):
+                items.extend(queue)
+                queue.clear()
+            else:
+                chosen = set(
+                    sorted(
+                        range(len(queue)),
+                        key=lambda index: _edf_key(queue[index]),
+                    )[:take]
+                )
+                items.extend(
+                    queue[index] for index in sorted(chosen)
+                )
+                self._tenants[name].queues[shape] = deque(
+                    queue[index]
+                    for index in range(len(queue))
+                    if index not in chosen
+                )
+                queue = self._tenants[name].queues[shape]
             if not queue:
                 del self._tenants[name].queues[shape]
         self._shape_totals[shape] -= len(items)
@@ -909,6 +1167,41 @@ class ToneMapIngestor:
             self._space.notify_all()
             # A freed gate slot may unblock the scheduler.
             self._arrived.notify_all()
+            rung_changed = self._observe_overload_locked()
+        if rung_changed:
+            # Apply the freshest rung outside the lock: concurrent
+            # completions may race here, but each applies the rung the
+            # controller holds *now*, so the service converges on it.
+            self.service.apply_overload_rung(self._overload.rung)
+
+    def _observe_overload_locked(self) -> bool:
+        """Feed the ladder one observation; True if the rung changed.
+
+        Runs at batch-completion cadence (the same place the shard
+        autoscaler observes).  Entering ``shed_best_effort`` from below
+        drops already-queued best-effort frames immediately — admission
+        suspension alone would let them squat on seats for the rest of
+        the storm.
+        """
+        if self._overload is None:
+            return False
+        ordered = sorted(self._latencies_ms)
+        p95_ms = _percentile(ordered, 0.95) if ordered else None
+        rung = self._overload.observe(p95_ms, self._in_flight)
+        if rung == self._ladder_rung:
+            return False
+        previous = self._ladder_rung
+        self._ladder_rung = rung
+        if (
+            rung_index(rung) >= _SHED_INDEX
+            and rung_index(previous) < _SHED_INDEX
+        ):
+            self._shed_class_locked(
+                ServiceClass.BEST_EFFORT,
+                reason=f"overload ladder rung={rung}",
+                ladder=True,
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -955,10 +1248,41 @@ class ToneMapIngestor:
                 latency_p95_ms=_percentile(ordered, 0.95),
                 latency_p99_ms=_percentile(ordered, 0.99),
                 reliability=replace(
-                    base.reliability, deadline_shed=self._deadline_shed
+                    base.reliability,
+                    deadline_shed=self._deadline_shed,
+                    ladder_rung=self._ladder_rung,
+                    ladder_transitions=(
+                        self._overload.transitions
+                        if self._overload is not None
+                        else 0
+                    ),
+                    ladder_shed=self._ladder_shed,
                 ),
                 tenants=tenants,
             )
+
+    def drain(self) -> None:
+        """Zero-loss shutdown: stop admitting, serve the queue, stop.
+
+        The graceful sibling of :meth:`close`: new submissions are
+        refused immediately (``ToneMapError``), queued *best-effort*
+        frames fail fast with one deterministic
+        :class:`~repro.errors.ServiceOverloadedError` (they are the
+        load the operator chose to drop to finish faster), and every
+        queued interactive/standard frame is flushed to a real result
+        before the scheduler thread stops.  The backing service stays
+        open — the caller owns it.  Idempotent, and ``close`` after
+        ``drain`` is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+            self._shed_class_locked(
+                ServiceClass.BEST_EFFORT, reason="drain", ladder=False
+            )
+            self._space.notify_all()  # wake blocked submitters to fail
+        self.close()
 
     def close(self) -> None:
         """Flush queued work, wait for in-flight futures, stop the scheduler.

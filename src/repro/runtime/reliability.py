@@ -70,6 +70,20 @@ class ReliabilityStats:
         — the host-level analogue of a worker crash; each one triggers
         a replay on another host and, for pool-owned hosts, a respawn.
         Always 0 on a single-host service.
+    ladder_rung:
+        Current rung of the SLO degradation ladder
+        (:data:`~repro.runtime.overload.LADDER`): ``full`` /
+        ``degraded_plan`` / ``shed_best_effort`` / ``brownout``.
+        ``full`` when the service runs without an
+        :class:`~repro.runtime.overload.OverloadController`.
+    ladder_transitions:
+        Rung changes (both directions) since construction — a high
+        number with little time off ``full`` means the hysteresis
+        knobs are too twitchy for the workload.
+    ladder_shed:
+        Best-effort frames dropped by the ladder: queued frames failed
+        on entering the ``shed_best_effort`` rung plus best-effort
+        submissions rejected while the rung held.
     """
 
     deadline_shed: int = 0
@@ -79,6 +93,9 @@ class ReliabilityStats:
     breaker_transitions: int = 0
     brownout_batches: int = 0
     hosts_lost: int = 0
+    ladder_rung: str = "full"
+    ladder_transitions: int = 0
+    ladder_shed: int = 0
 
 
 @dataclass(frozen=True)

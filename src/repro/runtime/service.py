@@ -40,6 +40,11 @@ from repro.runtime.arena import ArenaLease, ResultHandle
 from repro.runtime.batch import BatchToneMapper
 from repro.runtime.clock import MONOTONIC, Clock
 from repro.runtime.faults import resolve_injector
+from repro.runtime.overload import (
+    LADDER_BROWNOUT,
+    LADDER_DEGRADED,
+    rung_index,
+)
 from repro.runtime.reliability import (
     BreakerPolicy,
     CircuitBreaker,
@@ -236,7 +241,11 @@ class ToneMapService:
         (default: host CPU count) the ceiling.
     max_shards / autoscale_policy:
         Autoscaler bounds / full policy override (see
-        :class:`~repro.runtime.shard.ShardPool`).
+        :class:`~repro.runtime.shard.ShardPool`).  With ``hosts``
+        instead of ``shards``, ``autoscale_policy`` attaches the
+        **advisory** host-level autoscaler on the
+        :class:`~repro.runtime.hostpool.HostPool` — membership stays
+        static, but the pool reports when the host set is sized wrong.
     arena_slots:
         Depth of the pool's shared-memory arena per size class (see
         :class:`~repro.runtime.arena.ShmArena`).
@@ -259,6 +268,15 @@ class ToneMapService:
         (pickled) to every shard worker, so the whole service replays
         one recorded set of dispatch decisions.  Explicit
         ``fused``/``fused_threads`` arguments still win over the plan.
+    degraded_plan:
+        The cheaper :class:`~repro.planner.plan.ExecutionPlan` the
+        service pins its in-process execution onto while the overload
+        ladder sits at ``degraded_plan`` or above (see
+        :meth:`apply_overload_rung`).  ``None`` derives one from
+        ``plan`` via :func:`repro.planner.pinned` (staged engine,
+        folded blur — the predictable cheap regime), or disables the
+        rung's plan swap entirely when there is no ``plan`` to degrade
+        from.
     shard_timeout_ms:
         Default execution budget per sharded batch; an attempt still
         running at the budget is killed by the pool's watchdog and
@@ -298,6 +316,7 @@ class ToneMapService:
         fused: bool = False,
         fused_threads: Optional[int] = None,
         plan=None,
+        degraded_plan=None,
         shard_timeout_ms: Optional[float] = None,
         breaker=None,
         faults=None,
@@ -393,6 +412,7 @@ class ToneMapService:
                     default_timeout_ms=shard_timeout_ms,
                     faults=self._faults,
                     clock=clock,
+                    autoscale_policy=autoscale_policy,
                 )
             else:
                 self._pool = HostPool(
@@ -401,12 +421,14 @@ class ToneMapService:
                     default_timeout_ms=shard_timeout_ms,
                     faults=self._faults,
                     clock=clock,
+                    autoscale_policy=autoscale_policy,
                 )
         local_params = params
         if fixed_config is not None:
             local_params = replace(
                 params, blur_fn=make_fixed_blur_fn(fixed_config)
             )
+        self._local_params = local_params
         self._mapper = BatchToneMapper(
             local_params,
             fused=fused,
@@ -416,6 +438,12 @@ class ToneMapService:
             # when the breaker browns batches out to this mapper.
             faults=self._faults,
         )
+        self._degraded_plan = degraded_plan
+        self._degraded_mapper: Optional[BatchToneMapper] = None
+        self._degraded_active = False
+        self._forced_brownout = False
+        self._draining = False
+        self._closed = False
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="tonemap"
         )
@@ -429,6 +457,11 @@ class ToneMapService:
     def _admit_batch(self) -> None:
         """Count one batch into the queue-depth stat at submission time."""
         with self._lock:
+            if self._draining or self._closed:
+                raise ToneMapError(
+                    "service is draining" if self._draining
+                    else "service is closed"
+                )
             self._stats = replace(
                 self._stats,
                 queue_depth=self._stats.queue_depth + 1,
@@ -489,6 +522,61 @@ class ToneMapService:
         with self._lock:
             self._brownout_batches += 1
 
+    # ------------------------------------------------------------------
+    # Overload ladder hooks
+    # ------------------------------------------------------------------
+    def apply_overload_rung(self, rung: str) -> None:
+        """Adopt one degradation-ladder rung (idempotent, any order).
+
+        ``degraded_plan`` and above swap the *in-process* execution onto
+        the cheaper pinned plan (see ``degraded_plan`` in the
+        constructor); ``brownout`` additionally stops offering batches
+        to the shard/host pool — the breaker's brownout path, entered
+        deliberately, still serving bit-identical outputs from the
+        full-fidelity mapper.  Called by the ingestor's
+        :class:`~repro.runtime.overload.OverloadController` wiring;
+        harmless to call directly.
+        """
+        index = rung_index(rung)
+        degraded = index >= rung_index(LADDER_DEGRADED)
+        if degraded:
+            self._ensure_degraded_mapper()
+        with self._lock:
+            self._degraded_active = (
+                degraded and self._degraded_mapper is not None
+            )
+            self._forced_brownout = index >= rung_index(LADDER_BROWNOUT)
+
+    def _ensure_degraded_mapper(self) -> None:
+        """Build the cheap-plan mapper on first use (never on the
+        constructor's critical path)."""
+        with self._lock:
+            if self._degraded_mapper is not None:
+                return
+            plan = self._degraded_plan
+            if plan is None:
+                if self.plan is None:
+                    return  # nothing to degrade from; the rung is a no-op
+                from repro.planner import pinned
+
+                plan = pinned(
+                    self.plan, engine="staged", blur_method="folded"
+                )
+                self._degraded_plan = plan
+            self._degraded_mapper = BatchToneMapper(
+                self._local_params,
+                fused=(plan.engine == "fused"),
+                plan=plan,
+                faults=self._faults,
+            )
+
+    def _local_mapper(self) -> BatchToneMapper:
+        """The mapper in-process batches run on right now (ladder-aware)."""
+        with self._lock:
+            if self._degraded_active and self._degraded_mapper is not None:
+                return self._degraded_mapper
+        return self._mapper
+
     def _run_admitted(self, images: Sequence[HDRImage]) -> tuple[HDRImage, ...]:
         """Execute one batch already counted by :meth:`_admit_batch`.
 
@@ -503,7 +591,12 @@ class ToneMapService:
         try:
             if self._pool is not None:
                 outputs = None
-                if self._breaker is not None and not self._breaker.allow_shard():
+                with self._lock:
+                    forced = self._forced_brownout
+                if forced or (
+                    self._breaker is not None
+                    and not self._breaker.allow_shard()
+                ):
                     self._note_brownout()
                     outputs = self._mapper.run(images).outputs
                 else:
@@ -523,7 +616,7 @@ class ToneMapService:
                     for im in images
                 )
             else:
-                result = self._mapper.run(images)
+                result = self._local_mapper().run(images)
                 outputs = result.outputs
                 pixels = result.pixels
         except BaseException:
@@ -555,8 +648,13 @@ class ToneMapService:
     def _execute_stack(
         self, in_lease: ArenaLease, count: int, timeout: Optional[float]
     ) -> ArenaLease:
-        """Route one arena stack: shard pool, unless the breaker says no."""
-        if self._breaker is not None and not self._breaker.allow_shard():
+        """Route one arena stack: shard pool, unless the breaker (or the
+        overload ladder's brownout rung) says no."""
+        with self._lock:
+            forced = self._forced_brownout
+        if forced or (
+            self._breaker is not None and not self._breaker.allow_shard()
+        ):
             return self._brownout_stack(in_lease, count)
         try:
             out_lease = self._pool.run_leased(
@@ -799,12 +897,45 @@ class ToneMapService:
             )
         return snapshot
 
+    def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish everything, close.
+
+        New submissions are refused with :class:`ToneMapError` from the
+        moment this is called; every batch already admitted runs to a
+        real result (the executor flushes its queue, then the pool is
+        drained — :meth:`~repro.runtime.shard.ShardPool.drain` /
+        :meth:`~repro.runtime.hostpool.HostPool.drain` complete
+        in-flight leases before tearing workers down).  Idempotent, and
+        a later :meth:`close` is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+        self._shutdown(graceful=True)
+
     def close(self) -> None:
         """Shut the pools down, waiting for queued work."""
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+        self._shutdown(graceful=False)
+
+    def _shutdown(self, graceful: bool) -> None:
         self._executor.shutdown(wait=True)
         self._mapper.close()
+        with self._lock:
+            degraded = self._degraded_mapper
+        if degraded is not None:
+            degraded.close()
         if self._pool is not None:
-            self._pool.close()
+            stop = (
+                getattr(self._pool, "drain", None) if graceful else None
+            )
+            (stop or self._pool.close)()
+        with self._lock:
+            self._closed = True
 
     def __enter__(self) -> "ToneMapService":
         return self

@@ -662,6 +662,7 @@ class ShardPool:
         self._respawn_lock = threading.Lock()
         self._generation = 0
         self._respawns = 0
+        self._draining = False
         if default_timeout_ms is not None and default_timeout_ms <= 0:
             raise ToneMapError(
                 f"default_timeout_ms must be > 0, got {default_timeout_ms}"
@@ -956,6 +957,8 @@ class ShardPool:
         """
         if in_lease.array is None:
             raise ToneMapError("cannot run a released arena lease")
+        if self._draining:
+            raise ToneMapError("shard pool is draining")
         shape = in_lease.array.shape
         if count is None:
             count = shape[0]
@@ -1178,6 +1181,19 @@ class ShardPool:
                 worker_respawns=self._respawns,
                 arena=self.arena.stats,
             )
+
+    def drain(self) -> None:
+        """Graceful close: refuse new batches, then shut down.
+
+        :meth:`close` already waits for running slabs — the executor
+        shutdown blocks until in-flight batches finish — so the only
+        thing drain adds is the admission cut: a ``run_leased`` /
+        ``run_batch`` that arrives after this call fails fast with
+        :class:`~repro.errors.ToneMapError` instead of racing the
+        teardown.
+        """
+        self._draining = True
+        self.close()
 
     def close(self) -> None:
         """Shut the workers down (waiting for running slabs), then the arena.

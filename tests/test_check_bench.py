@@ -207,6 +207,47 @@ class TestCommittedBaseline:
         ]
         assert "test_network_data_plane_small::host_respawns" in strict
         assert respawns["direction"] == "min" and respawns["value"] >= 1.0
+        # The PR 10 overload acceptance bar: a seeded queue-depth storm
+        # makes every counter machine-independent.  The protected
+        # (interactive) class gates as strict maxes — zero frames lost
+        # and p95 at most 1.0x its SLO — while the degradation really
+        # firing gates as strict mins (transitions walked, best-effort
+        # shed) so a silently-disabled controller fails the build.
+        for key in ("interactive_frames_lost",):
+            spec = baseline["metrics"][
+                f"test_overload_degradation_small::{key}"
+            ]
+            assert f"test_overload_degradation_small::{key}" in strict
+            assert spec["direction"] == "max" and spec["value"] == 0.0
+        p95_gate = baseline["metrics"][
+            "test_overload_degradation_small::interactive_p95_x_slo"
+        ]
+        assert (
+            "test_overload_degradation_small::interactive_p95_x_slo"
+            in strict
+        )
+        assert p95_gate["direction"] == "max" and p95_gate["value"] == 1.0
+        for key in ("ladder_transitions", "best_effort_shed"):
+            spec = baseline["metrics"][
+                f"test_overload_degradation_small::{key}"
+            ]
+            assert f"test_overload_degradation_small::{key}" in strict
+            assert spec["direction"] == "min" and spec["value"] >= 1.0
+        # And the PR 10 drain bar: a rolling restart cycles every host
+        # (strict min 2) while losing exactly zero admitted frames.
+        restart_lost = baseline["metrics"][
+            "test_rolling_restart_small::frames_lost"
+        ]
+        assert "test_rolling_restart_small::frames_lost" in strict
+        assert (
+            restart_lost["direction"] == "max"
+            and restart_lost["value"] == 0.0
+        )
+        drained = baseline["metrics"][
+            "test_rolling_restart_small::hosts_drained"
+        ]
+        assert "test_rolling_restart_small::hosts_drained" in strict
+        assert drained["direction"] == "min" and drained["value"] >= 2.0
 
     def test_tracks_the_emitted_data_plane_metrics(self):
         # Guards the gate's wiring from the tier-1 suite (benchmark-side
@@ -238,6 +279,12 @@ class TestCommittedBaseline:
             "test_network_data_plane_small::frames_lost",
             "test_network_data_plane_small::host_respawns",
             "test_network_data_plane_small::frames_per_sec",
+            "test_overload_degradation_small::ladder_transitions",
+            "test_overload_degradation_small::best_effort_shed",
+            "test_overload_degradation_small::interactive_frames_lost",
+            "test_overload_degradation_small::interactive_p95_x_slo",
+            "test_rolling_restart_small::frames_lost",
+            "test_rolling_restart_small::hosts_drained",
         }
         missing = emitted - set(baseline["metrics"])
         assert not missing, f"baseline.json lost metrics: {sorted(missing)}"
